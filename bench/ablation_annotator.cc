@@ -1,0 +1,76 @@
+// Ablation: annotator precision (paper §3.5/§6).
+//
+// The paper argues that better static analysis — inter-procedural regions
+// and pointer/element precision — would change the AR population and the
+// overhead: precision removes spurious whole-array pairs (fewer ARs, less
+// overhead) while inter-procedural analysis adds call-spanning regions
+// (more coverage, more overhead). This bench compiles every workload under
+// the four precision combinations and reports both effects.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace kivati {
+namespace bench {
+namespace {
+
+struct Mode {
+  const char* name;
+  AnnotateOptions options;
+};
+
+void Run() {
+  std::printf("=== Ablation: annotator precision ===\n\n");
+  const Mode modes[] = {
+      {"basic (paper)", {}},
+      {"interprocedural", {.interprocedural = true}},
+      {"precise aliasing", {.precise_aliasing = true}},
+      {"both", {.interprocedural = true, .precise_aliasing = true}},
+  };
+
+  TablePrinter table({"App", "Annotator", "ARs", "Overhead", "Crossings", "Missed ARs"});
+  for (int app_index = 0; app_index < 5; ++app_index) {
+    std::optional<AppRun> vanilla;
+    for (const Mode& mode : modes) {
+      apps::LoadScale scale;
+      scale.annotator = mode.options;
+      apps::App app;
+      switch (app_index) {
+        case 0: app = apps::MakeNss(scale); break;
+        case 1: app = apps::MakeVlc(scale); break;
+        case 2: app = apps::MakeWebstone(scale); break;
+        case 3: app = apps::MakeTpcw(scale); break;
+        default: app = apps::MakeSpecOmp(scale); break;
+      }
+      if (!vanilla.has_value()) {
+        vanilla = RunApp(app, RunOptions{});
+      }
+      RunOptions options;
+      options.kivati = MakeConfig(OptimizationPreset::kOptimized, KivatiMode::kPrevention);
+      options.whitelist_sync_vars = true;
+      const AppRun run = RunApp(app, options);
+      table.AddRow({app.workload.name, mode.name, std::to_string(app.compiled->num_ars),
+                    Pct(OverheadPercent(*vanilla, run)) + (run.completed ? "" : "*"),
+                    std::to_string(run.stats.kernel_entries_total()),
+                    std::to_string(run.stats.ars_missed)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nFindings: inter-procedural analysis adds call-spanning regions — more\n"
+      "coverage (the paper's §6 motivation) but far more overhead and watchpoint\n"
+      "exhaustion, since regions now pin registers across whole calls. Precise\n"
+      "aliasing leaves these workloads unchanged (their array indices are\n"
+      "run-time values); its wins show up on pointer-copy and constant-index\n"
+      "code (see extensions_test.cc).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kivati
+
+int main() {
+  kivati::bench::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "bench/bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace kivati {
+namespace bench {
+
+MachineConfig PaperMachine(std::uint64_t seed) {
+  MachineConfig config;
+  config.num_cores = 2;
+  config.watchpoints_per_core = 4;
+  config.policy = SchedPolicy::kRandom;
+  config.quantum = 4000;
+  config.seed = seed;
+  return config;
+}
+
+KivatiConfig MakeConfig(OptimizationPreset preset, KivatiMode mode) {
+  return KivatiConfig::PresetFor(preset, mode);
+}
+
+AppRun RunApp(const apps::App& app, const RunOptions& options) {
+  EngineOptions engine_options;
+  engine_options.machine = options.machine;
+  engine_options.kivati = options.kivati;
+  engine_options.whitelist_sync_vars = options.whitelist_sync_vars;
+
+  Engine engine(app.workload, engine_options);
+  const RunResult result = engine.Run(options.budget);
+
+  AppRun run;
+  run.app = app.workload.name;
+  run.cycles = result.cycles;
+  run.seconds = options.machine.costs.ToSeconds(result.cycles);
+  run.completed = result.all_done;
+  run.stats = engine.trace().stats();
+  run.violations = engine.trace().violations().size();
+  run.unique_violating_ars = engine.trace().UniqueViolatingArs();
+  run.false_positive_ars = engine.trace().UniqueViolatingArsExcluding(app.workload.buggy_ars);
+  if (options.latency_tag != 0) {
+    for (const MarkEvent& mark : engine.trace().marks()) {
+      if (mark.tag == options.latency_tag) {
+        run.latencies.push_back(mark.value);
+      }
+    }
+  }
+  return run;
+}
+
+double OverheadPercent(const AppRun& baseline, const AppRun& run) {
+  if (baseline.cycles == 0) {
+    return 0.0;
+  }
+  return 100.0 * (static_cast<double>(run.cycles) - static_cast<double>(baseline.cycles)) /
+         static_cast<double>(baseline.cycles);
+}
+
+double GeometricMeanOverhead(const std::vector<double>& overheads_percent) {
+  if (overheads_percent.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (const double pct : overheads_percent) {
+    log_sum += std::log(1.0 + pct / 100.0);
+  }
+  return (std::exp(log_sum / static_cast<double>(overheads_percent.size())) - 1.0) * 100.0;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void TablePrinter::Print() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (const std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) {
+      std::printf("-");
+    }
+    std::printf("|");
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string Pct(double percent, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, percent);
+  return buf;
+}
+
+std::string Num(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace kivati

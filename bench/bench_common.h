@@ -1,0 +1,72 @@
+// Shared harness for the experiment benches: runs an application under a
+// given Kivati configuration on the paper's machine model (two cores, four
+// watchpoints) and collects timing and statistics.
+#ifndef KIVATI_BENCH_BENCH_COMMON_H_
+#define KIVATI_BENCH_BENCH_COMMON_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.h"
+#include "core/engine.h"
+#include "kernel/config.h"
+
+namespace kivati {
+namespace bench {
+
+// The evaluation machine (paper §4): dual-core x86 with 4 watchpoints.
+MachineConfig PaperMachine(std::uint64_t seed = 1);
+
+struct AppRun {
+  std::string app;
+  Cycles cycles = 0;         // virtual wall time of the fixed-work run
+  double seconds = 0.0;      // cycles converted via the cost model
+  bool completed = false;
+  RuntimeStats stats;
+  std::size_t violations = 0;
+  std::size_t unique_violating_ars = 0;
+  std::size_t false_positive_ars = 0;   // unique violating ARs minus known bugs
+  std::vector<Cycles> latencies;        // mark values for the given tag (if any)
+};
+
+struct RunOptions {
+  std::optional<KivatiConfig> kivati;   // absent = vanilla
+  bool whitelist_sync_vars = false;
+  MachineConfig machine = PaperMachine();
+  std::optional<Cycles> budget;         // defaults to the workload's budget
+  std::int64_t latency_tag = 0;         // collect mark values with this tag
+};
+
+AppRun RunApp(const apps::App& app, const RunOptions& options);
+
+// Convenience: the four Table-3 configurations for one mode.
+KivatiConfig MakeConfig(OptimizationPreset preset, KivatiMode mode);
+
+// Percentage overhead of `run` relative to `baseline` (in virtual time).
+double OverheadPercent(const AppRun& baseline, const AppRun& run);
+
+// Geometric mean of (1 + overhead) percentages, as the paper reports.
+double GeometricMeanOverhead(const std::vector<double>& overheads_percent);
+
+// --- Table formatting --------------------------------------------------------
+
+// Fixed-width table printer for bench output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string Pct(double percent, int decimals = 1);
+std::string Num(double value, int decimals = 1);
+
+}  // namespace bench
+}  // namespace kivati
+
+#endif  // KIVATI_BENCH_BENCH_COMMON_H_

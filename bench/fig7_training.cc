@@ -1,0 +1,73 @@
+// Reproduces Figure 7: false positives observed on successive whitelist
+// training iterations, in prevention and bug-finding mode.
+//
+// Paper shape: both curves decay toward zero; bug-finding starts higher
+// (its pauses surface more benign violations per run) and converges in
+// fewer iterations because each run removes more ARs.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+
+namespace kivati {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("=== Figure 7: false positives over whitelist training iterations ===\n\n");
+  const int iterations = 8;
+
+  std::vector<std::string> headers = {"App", "Mode"};
+  for (int i = 1; i <= iterations; ++i) {
+    headers.push_back("it" + std::to_string(i));
+  }
+  TablePrinter table(std::move(headers));
+
+  std::vector<std::size_t> total_prev(iterations, 0);
+  std::vector<std::size_t> total_bug(iterations, 0);
+
+  for (const apps::App& app : apps::AllPerformanceApps({})) {
+    for (const KivatiMode mode : {KivatiMode::kPrevention, KivatiMode::kBugFinding}) {
+      TrainingOptions options;
+      options.machine = PaperMachine();
+      options.kivati = MakeConfig(OptimizationPreset::kOptimized, mode);
+      if (mode == KivatiMode::kBugFinding) {
+        // Training is where aggressive pausing pays off (paper §6).
+        options.kivati.bugfinding_pause_probability = 0.05;
+      }
+      options.whitelist_sync_vars = true;
+      options.iterations = iterations;
+      const TrainingResult result = Train(app.workload, options);
+
+      std::vector<std::string> row = {
+          app.workload.name, mode == KivatiMode::kPrevention ? "prevention" : "bug-finding"};
+      for (int i = 0; i < iterations; ++i) {
+        row.push_back(std::to_string(result.false_positives[static_cast<std::size_t>(i)]));
+        auto& total = mode == KivatiMode::kPrevention ? total_prev : total_bug;
+        total[static_cast<std::size_t>(i)] += result.false_positives[static_cast<std::size_t>(i)];
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+
+  std::vector<std::string> row_p = {"ALL", "prevention"};
+  std::vector<std::string> row_b = {"ALL", "bug-finding"};
+  for (int i = 0; i < iterations; ++i) {
+    row_p.push_back(std::to_string(total_prev[static_cast<std::size_t>(i)]));
+    row_b.push_back(std::to_string(total_bug[static_cast<std::size_t>(i)]));
+  }
+  table.AddRow(std::move(row_p));
+  table.AddRow(std::move(row_b));
+  table.Print();
+  std::printf("\nPaper shape: both series decay to ~0; bug-finding starts higher and\n"
+              "converges in fewer iterations.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kivati
+
+int main() {
+  kivati::bench::Run();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Google-benchmark microbenchmarks for the simulator's hot paths: raw
+// instruction throughput, annotation fast path vs kernel path, watchpoint
+// matching, the compiler pipeline, and rollback-table construction.
+#include <benchmark/benchmark.h>
+
+#include "compile/compiler.h"
+#include "isa/rollback_table.h"
+#include "runtime/kivati_runtime.h"
+#include "sched/machine.h"
+
+namespace kivati {
+namespace {
+
+Program TightLoopProgram(std::int64_t iterations) {
+  ProgramBuilder b;
+  b.BeginFunction("main");
+  b.LoadImm(1, iterations);
+  const auto loop = b.NewLabel();
+  b.Bind(loop);
+  b.AddI(2, 2, 3);
+  b.Alu(Opcode::kXor, 3, 3, 2);
+  b.AddI(1, 1, -1);
+  b.Bnz(1, loop);
+  b.Halt();
+  b.EndFunction();
+  return b.Build();
+}
+
+// Host-time cost of simulating one instruction.
+void BM_MachineInstructionThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    MachineConfig config;
+    config.num_cores = 1;
+    Machine m(TightLoopProgram(state.range(0) / 4), config);
+    m.SpawnThreadByName("main", 0);
+    const RunResult result = m.Run();
+    benchmark::DoNotOptimize(result.instructions);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MachineInstructionThroughput)->Arg(100000);
+
+Program AnnotationLoopProgram(std::int64_t iterations, bool same_address) {
+  ProgramBuilder b;
+  b.BeginFunction("main");
+  b.LoadImm(1, iterations);
+  const auto loop = b.NewLabel();
+  b.Bind(loop);
+  // Two back-to-back ARs: with one address the optimized runtime revives
+  // the lazily-freed watchpoint from user space; with rotating addresses it
+  // must re-arm through the kernel each time.
+  const Addr addr = 0x10000;
+  b.BeginAtomic(1, MemOperand::Absolute(addr), 8, WatchType::kWrite, AccessType::kRead);
+  b.Load(2, MemOperand::Absolute(addr));
+  b.Load(2, MemOperand::Absolute(addr));
+  b.EndAtomic(1, AccessType::kRead);
+  if (!same_address) {
+    b.BeginAtomic(2, MemOperand::Absolute(addr + 64), 8, WatchType::kWrite, AccessType::kRead);
+    b.Load(2, MemOperand::Absolute(addr + 64));
+    b.Load(2, MemOperand::Absolute(addr + 64));
+    b.EndAtomic(2, AccessType::kRead);
+  }
+  b.AddI(1, 1, -1);
+  b.Bnz(1, loop);
+  b.Halt();
+  b.EndFunction();
+  return b.Build();
+}
+
+// Virtual-cycle cost per annotation on the fast path vs the kernel path,
+// reported as the "cycles" counter.
+void BM_AnnotationPath(benchmark::State& state) {
+  const bool optimized = state.range(0) != 0;
+  Cycles virtual_cycles = 0;
+  std::uint64_t annotations = 0;
+  for (auto _ : state) {
+    MachineConfig mc;
+    mc.num_cores = 1;
+    Machine m(AnnotationLoopProgram(2000, true), mc);
+    KivatiConfig config;
+    config.opt_fast_path = optimized;
+    config.opt_lazy_free = optimized;
+    KivatiRuntime runtime(m, config);
+    m.SpawnThreadByName("main", 0);
+    const RunResult result = m.Run(100'000'000);
+    virtual_cycles += result.cycles;
+    annotations +=
+        m.trace().stats().begin_atomic_calls + m.trace().stats().end_atomic_calls;
+  }
+  state.counters["virt_cycles_per_annotation"] =
+      benchmark::Counter(static_cast<double>(virtual_cycles) / static_cast<double>(annotations));
+}
+BENCHMARK(BM_AnnotationPath)->Arg(0)->Arg(1);
+
+void BM_WatchpointMatch(benchmark::State& state) {
+  DebugRegisterFile regs;
+  regs.Set(0, 0x1000, 8, WatchType::kWrite);
+  regs.Set(3, 0x2000, 4, WatchType::kReadWrite);
+  Addr addr = 0x1500;
+  for (auto _ : state) {
+    addr = (addr + 8) & 0x3FFF;
+    benchmark::DoNotOptimize(regs.Match(addr, 8, AccessType::kWrite));
+  }
+}
+BENCHMARK(BM_WatchpointMatch);
+
+void BM_CompilePipeline(benchmark::State& state) {
+  const std::string source = R"(
+    sync int mutex;
+    int table[64];
+    int counter;
+    void helper(int *p) { *p = *p + 1; }
+    void worker(int id) {
+      for (int i = 0; i < 100; i = i + 1) {
+        lock(mutex);
+        table[i & 63] = table[i & 63] + id;
+        counter = counter + 1;
+        unlock(mutex);
+        helper(&counter);
+      }
+    }
+  )";
+  for (auto _ : state) {
+    const CompiledProgram compiled = CompileSource(source);
+    benchmark::DoNotOptimize(compiled.num_ars);
+  }
+}
+BENCHMARK(BM_CompilePipeline);
+
+void BM_RollbackTableBuild(benchmark::State& state) {
+  const Program program = AnnotationLoopProgram(1, false);
+  for (auto _ : state) {
+    RollbackTable table(program);
+    benchmark::DoNotOptimize(table.entries());
+  }
+}
+BENCHMARK(BM_RollbackTableBuild);
+
+}  // namespace
+}  // namespace kivati
+
+BENCHMARK_MAIN();

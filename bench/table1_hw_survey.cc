@@ -1,0 +1,85 @@
+// Reproduces Table 1: the survey of hardware watchpoint support, plus a
+// live demonstration of the two trap-delivery semantics on the simulated
+// hardware (the distinction that drives Kivati's undo engine, §3.3).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "runtime/kivati_runtime.h"
+
+namespace kivati {
+namespace bench {
+namespace {
+
+// Runs the canonical W..R scenario under the given delivery and reports
+// whether prevention required undoing a committed access.
+void Demonstrate(TrapDelivery delivery) {
+  ProgramBuilder b;
+  b.BeginFunction("local");
+  b.BeginAtomic(1, MemOperand::Absolute(kDataBase), 8, WatchType::kWrite, AccessType::kWrite);
+  b.LoadImm(2, 7);
+  b.Store(MemOperand::Absolute(kDataBase), 2);
+  b.LoadImm(7, 3000);
+  const auto loop = b.NewLabel();
+  b.Bind(loop);
+  b.AddI(7, 7, -1);
+  b.Bnz(7, loop);
+  b.Load(3, MemOperand::Absolute(kDataBase));
+  b.EndAtomic(1, AccessType::kRead);
+  b.Halt();
+  b.EndFunction();
+  b.BeginFunction("remote");
+  b.LoadImm(7, 200);
+  const auto loop2 = b.NewLabel();
+  b.Bind(loop2);
+  b.AddI(7, 7, -1);
+  b.Bnz(7, loop2);
+  b.LoadImm(2, 99);
+  b.Store(MemOperand::Absolute(kDataBase), 2);
+  b.Halt();
+  b.EndFunction();
+
+  MachineConfig mc;
+  mc.num_cores = 1;
+  mc.policy = SchedPolicy::kRoundRobin;
+  mc.quantum = 1000;
+  mc.trap_delivery = delivery;
+  Machine machine(b.Build(), mc);
+  KivatiConfig config;
+  KivatiRuntime runtime(machine, config);
+  machine.SpawnThreadByName("local", 0);
+  machine.SpawnThreadByName("remote", 0);
+  machine.Run(10'000'000);
+
+  const auto& stats = machine.trace().stats();
+  std::printf("  trap %s: traps=%llu, violations=%zu (prevented=%llu), local read saw %llu\n",
+              delivery == TrapDelivery::kAfter ? "AFTER (x86-style) " : "BEFORE (SPARC-style)",
+              static_cast<unsigned long long>(stats.watchpoint_traps),
+              machine.trace().violations().size(),
+              static_cast<unsigned long long>(stats.violations_prevented),
+              static_cast<unsigned long long>(machine.thread(0).regs[3]));
+}
+
+void Run() {
+  std::printf("=== Table 1: hardware watchpoint support survey ===\n\n");
+  TablePrinter table({"Arch", "Support", "Number", "Type"});
+  table.AddRow({"x86", "Yes", "4", "After"});
+  table.AddRow({"SPARC", "Yes", "2", "Before"});
+  table.AddRow({"MIPS", "Yes", "1", "Depends on inst."});
+  table.AddRow({"ARM", "Yes", "2", "After"});
+  table.AddRow({"PowerPC", "Yes", "1", ""});
+  table.Print();
+
+  std::printf("\nSimulated demonstration (W..R atomic region, remote write mid-region;\n"
+              "in both cases the local read must still observe the local value 7):\n");
+  Demonstrate(TrapDelivery::kAfter);
+  Demonstrate(TrapDelivery::kBefore);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kivati
+
+int main() {
+  kivati::bench::Run();
+  return 0;
+}

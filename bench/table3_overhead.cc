@@ -1,0 +1,89 @@
+// Reproduces Table 3: execution-time overhead of Kivati over a vanilla
+// system for the five workloads, at four optimization levels, in prevention
+// and bug-finding mode.
+//
+// Paper reference values (prevention / bug-finding, % over vanilla):
+//   NSS       32.4/35.9  25.3/28.4 (null)  24.6/27.2 (syncvars)  22.1/24.9 (opt)
+//   ... (see EXPERIMENTS.md for the full table); geometric mean drops from
+//   30% (base) to 19% (optimized), bug-finding adds ~2.5%.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace kivati {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("=== Table 3: run-time overhead vs vanilla "
+              "(prevention / bug-finding) ===\n\n");
+
+  const apps::LoadScale scale;
+  const std::vector<apps::App> all = apps::AllPerformanceApps(scale);
+
+  TablePrinter table({"Application", "Runtime (virt. s)", "Base", "Null syscall", "SyncVars",
+                      "Optimized"});
+
+  struct Level {
+    OptimizationPreset preset;
+    bool whitelist_sync;
+  };
+  const std::vector<Level> levels = {
+      {OptimizationPreset::kBase, false},
+      {OptimizationPreset::kNullSyscall, false},
+      {OptimizationPreset::kSyncVars, true},
+      {OptimizationPreset::kOptimized, true},
+  };
+
+  std::vector<std::vector<double>> per_level_overheads(levels.size() * 2);
+
+  for (const apps::App& app : all) {
+    RunOptions vanilla_options;
+    const AppRun vanilla = RunApp(app, vanilla_options);
+
+    std::vector<std::string> row = {app.workload.name, Num(vanilla.seconds, 3)};
+    for (std::size_t l = 0; l < levels.size(); ++l) {
+      std::string cell;
+      for (const KivatiMode mode : {KivatiMode::kPrevention, KivatiMode::kBugFinding}) {
+        RunOptions options;
+        options.kivati = MakeConfig(levels[l].preset, mode);
+        options.whitelist_sync_vars = levels[l].whitelist_sync;
+        const AppRun run = RunApp(app, options);
+        const double overhead = OverheadPercent(vanilla, run);
+        const std::size_t bucket = l * 2 + (mode == KivatiMode::kBugFinding ? 1 : 0);
+        per_level_overheads[bucket].push_back(overhead);
+        if (!cell.empty()) {
+          cell += " / ";
+        }
+        cell += Pct(overhead);
+        if (!run.completed) {
+          cell += "*";
+        }
+      }
+      row.push_back(cell);
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::vector<std::string> mean_row = {"geometric mean", ""};
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    mean_row.push_back(Pct(GeometricMeanOverhead(per_level_overheads[l * 2])) + " / " +
+                       Pct(GeometricMeanOverhead(per_level_overheads[l * 2 + 1])));
+  }
+  table.AddRow(std::move(mean_row));
+
+  table.Print();
+  std::printf("\nPaper shape: base ~30%% geo-mean, optimized ~19%%; bug-finding adds ~2.5%%;\n"
+              "SyncVars sits between base and optimized. '*' marks a run that hit its cycle "
+              "budget.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kivati
+
+int main() {
+  kivati::bench::Run();
+  return 0;
+}

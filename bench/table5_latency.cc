@@ -1,0 +1,89 @@
+// Reproduces Table 5: effect of Kivati on the request latency of the two
+// server workloads (Webstone and TPC-W), vanilla vs prevention vs
+// bug-finding (all optimizations on, as deployed).
+//
+// Paper shape: prevention adds ~7-11% to request latency; bug-finding a few
+// points more because threads stall inside begin_atomic.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace kivati {
+namespace bench {
+namespace {
+
+struct LatencyStats {
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+  std::size_t requests = 0;
+};
+
+LatencyStats Summarize(const AppRun& run, const CostModel& costs) {
+  LatencyStats stats;
+  stats.requests = run.latencies.size();
+  if (run.latencies.empty()) {
+    return stats;
+  }
+  std::vector<Cycles> sorted = run.latencies;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (const Cycles c : sorted) {
+    sum += static_cast<double>(c);
+  }
+  stats.mean_ms = costs.ToMs(static_cast<Cycles>(sum / static_cast<double>(sorted.size())));
+  stats.p95_ms = costs.ToMs(sorted[sorted.size() * 95 / 100]);
+  return stats;
+}
+
+void Run() {
+  std::printf("=== Table 5: request latency of the server workloads (virtual ms) ===\n\n");
+  TablePrinter table(
+      {"App", "Vanilla mean", "Prevention", "Bug-finding", "p95 van/prev/bug", "requests"});
+
+  struct Server {
+    apps::App app;
+    std::int64_t tag;
+  };
+  std::vector<Server> servers;
+  servers.push_back({apps::MakeWebstone({}), apps::kWebstoneLatencyTag});
+  servers.push_back({apps::MakeTpcw({}), apps::kTpcwLatencyTag});
+
+  for (const Server& server : servers) {
+    const CostModel costs = PaperMachine().costs;
+    RunOptions vanilla;
+    vanilla.latency_tag = server.tag;
+    const LatencyStats v = Summarize(RunApp(server.app, vanilla), costs);
+
+    auto kivati_run = [&](KivatiMode mode) {
+      RunOptions options;
+      options.latency_tag = server.tag;
+      options.kivati = MakeConfig(OptimizationPreset::kOptimized, mode);
+      options.whitelist_sync_vars = true;
+      return Summarize(RunApp(server.app, options), costs);
+    };
+    const LatencyStats p = kivati_run(KivatiMode::kPrevention);
+    const LatencyStats bf = kivati_run(KivatiMode::kBugFinding);
+
+    auto pct_over = [&](double value) {
+      return v.mean_ms > 0 ? 100.0 * (value - v.mean_ms) / v.mean_ms : 0.0;
+    };
+    table.AddRow({server.app.workload.name, Num(v.mean_ms, 3),
+                  Num(p.mean_ms, 3) + " (+" + Pct(pct_over(p.mean_ms)) + ")",
+                  Num(bf.mean_ms, 3) + " (+" + Pct(pct_over(bf.mean_ms)) + ")",
+                  Num(v.p95_ms, 2) + " / " + Num(p.p95_ms, 2) + " / " + Num(bf.p95_ms, 2),
+                  std::to_string(v.requests)});
+  }
+  table.Print();
+  std::printf("\nPaper shape: Webstone +6.7%%/+9.3%%, TPC-W +11.2%%/+16.1%% over vanilla.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kivati
+
+int main() {
+  kivati::bench::Run();
+  return 0;
+}

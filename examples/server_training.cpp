@@ -1,0 +1,79 @@
+// Deploying Kivati on a server: the whitelist-training workflow (§4.2).
+//
+// Build & run:  ./build/examples/server_training
+//
+// A software vendor runs the Webstone workload under Kivati in bug-finding
+// mode during beta testing, collects the benign atomic regions that violate
+// (false positives), ships them as a whitelist file, and customers then run
+// prevention mode with that whitelist — fewer kernel crossings, no benign
+// reports, and real bugs still prevented.
+#include <cstdio>
+
+#include "apps/workloads.h"
+#include "core/trainer.h"
+#include "runtime/whitelist.h"
+
+namespace {
+
+kivati::MachineConfig ServerMachine() {
+  kivati::MachineConfig machine;
+  machine.num_cores = 2;
+  machine.policy = kivati::SchedPolicy::kRandom;
+  machine.seed = 2024;
+  return machine;
+}
+
+}  // namespace
+
+int main() {
+  const kivati::apps::App app = kivati::apps::MakeWebstone({});
+
+  // --- Phase 1: vendor-side training in bug-finding mode -------------------
+  kivati::TrainingOptions training;
+  training.machine = ServerMachine();
+  training.kivati = kivati::KivatiConfig::PresetFor(kivati::OptimizationPreset::kOptimized,
+                                                    kivati::KivatiMode::kBugFinding);
+  training.kivati.bugfinding_pause_probability = 0.05;  // beta testers tolerate stalls
+  training.whitelist_sync_vars = true;
+  training.iterations = 6;
+  const kivati::TrainingResult trained = kivati::Train(app.workload, training);
+
+  std::printf("training iterations (false positives found per run):");
+  for (const std::size_t fp : trained.false_positives) {
+    std::printf(" %zu", fp);
+  }
+  std::printf("\nwhitelist after training: %zu AR(s)\n", trained.whitelist.size());
+
+  // Ship the whitelist the way the paper does: as a file customers' runtimes
+  // re-read periodically.
+  const char* path = "/tmp/kivati_webstone.whitelist";
+  trained.whitelist.SaveToFile(path);
+  std::printf("whitelist written to %s\n", path);
+
+  // --- Phase 2: customer-side deployment in prevention mode ----------------
+  kivati::Whitelist shipped;
+  shipped.LoadFromFile(path);
+
+  auto run_customer = [&](bool use_whitelist) {
+    kivati::EngineOptions options;
+    options.machine = ServerMachine();
+    options.kivati = kivati::KivatiConfig::PresetFor(kivati::OptimizationPreset::kOptimized,
+                                                     kivati::KivatiMode::kPrevention);
+    if (use_whitelist) {
+      options.kivati->whitelist = shipped.ids();
+    }
+    options.whitelist_sync_vars = true;
+    kivati::Engine engine(app.workload, options);
+    const kivati::RunResult result = engine.Run();
+    std::printf("  %-18s run time %8llu cycles, crossings %6llu, benign reports %zu\n",
+                use_whitelist ? "with whitelist:" : "without whitelist:",
+                static_cast<unsigned long long>(result.cycles),
+                static_cast<unsigned long long>(engine.trace().stats().kernel_entries_total()),
+                engine.trace().UniqueViolatingArs());
+  };
+
+  std::printf("\ncustomer deployment (prevention mode):\n");
+  run_customer(false);
+  run_customer(true);
+  return 0;
+}

@@ -1,0 +1,372 @@
+#include "analysis/atomic_regions.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+namespace kivati {
+namespace {
+
+// A shared-variable access site inside one function. One op usually hosts a
+// single site; a call op under inter-procedural analysis hosts one site per
+// global its callee may touch.
+struct Site {
+  std::size_t op = 0;
+  int identity = 0;  // dense id of the variable identity
+  AccessType type = AccessType::kRead;
+};
+
+// Variable identity (the paper pairs by base-variable name; the precision
+// extensions refine it): space+index of the base (pointer locals collapsed
+// to their alias-class representative), plus an element number for array
+// accesses with provably constant indices (-1 = whole array / scalar).
+struct IdentityKey {
+  VarRef::Space space = VarRef::Space::kNone;
+  int index = -1;
+  int elem = -1;
+
+  bool operator<(const IdentityKey& other) const {
+    return std::tie(space, index, elem) < std::tie(other.space, other.index, other.elem);
+  }
+};
+
+// Minimal union-find over function locals for the aliasing extension.
+class AliasClasses {
+ public:
+  explicit AliasClasses(const MirFunction& function) : parent_(function.locals.size()) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+    for (const MirOp& op : function.ops) {
+      switch (op.kind) {
+        case MirOp::Kind::kCopy:
+          MaybeUnion(function, op.dst, op.a);
+          break;
+        case MirOp::Kind::kBin:
+          MaybeUnion(function, op.dst, op.a);
+          MaybeUnion(function, op.dst, op.b);
+          break;
+        case MirOp::Kind::kLoadLocalMem:
+          MaybeUnion(function, op.dst, op.local_mem);
+          break;
+        case MirOp::Kind::kStoreLocalMem:
+          MaybeUnion(function, op.local_mem, op.a);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  int Find(int local) {
+    while (parent_[static_cast<std::size_t>(local)] != local) {
+      local = parent_[static_cast<std::size_t>(local)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(local)])];
+    }
+    return local;
+  }
+
+ private:
+  void MaybeUnion(const MirFunction& function, int a, int b) {
+    if (a < 0 || b < 0) {
+      return;
+    }
+    // Only pointer-carrying locals participate; merging through integer
+    // operands would collapse unrelated identities.
+    if (!function.locals[static_cast<std::size_t>(a)].is_pointer ||
+        !function.locals[static_cast<std::size_t>(b)].is_pointer) {
+      return;
+    }
+    parent_[static_cast<std::size_t>(Find(a))] = Find(b);
+  }
+
+  std::vector<int> parent_;
+};
+
+// Locals that are defined exactly once, by a kConst: their value is known.
+std::unordered_map<int, std::int64_t> SingleConstDefs(const MirFunction& function) {
+  std::unordered_map<int, int> def_count;
+  std::unordered_map<int, std::int64_t> value;
+  for (const MirOp& op : function.ops) {
+    if (op.dst >= 0) {
+      ++def_count[op.dst];
+      if (op.kind == MirOp::Kind::kConst) {
+        value[op.dst] = op.imm;
+      }
+    }
+    if (op.kind == MirOp::Kind::kStoreLocalMem) {
+      ++def_count[op.local_mem];
+    }
+  }
+  std::unordered_map<int, std::int64_t> result;
+  for (const auto& [local, v] : value) {
+    if (def_count[local] == 1) {
+      result.emplace(local, v);
+    }
+  }
+  return result;
+}
+
+// Per-function pairing analysis. Path-insensitive forward data flow: the
+// state at a program point maps each shared variable to the set of access
+// sites that may be the most recent access to it on some path ("reaching
+// accesses"). When an access executes, it pairs with every reaching access
+// of the same variable, then replaces the reaching set.
+class PairAnalysis {
+ public:
+  PairAnalysis(const MirModule& module, std::size_t function_index, const LsvResult& lsv,
+               const AnnotateOptions& options,
+               const std::vector<GlobalAccessSummary>* summaries)
+      : module_(module),
+        function_(module.functions[function_index]),
+        lsv_(lsv),
+        options_(options),
+        summaries_(summaries) {}
+
+  FunctionAnnotations Run(ArId& next_id, std::unordered_set<ArId>& sync_ars,
+                          std::vector<ArDebugInfo>& infos) {
+    CollectSites();
+    if (sites_.empty()) {
+      return {};
+    }
+    ComputePredecessors();
+    Solve();
+    return BuildAnnotations(next_id, sync_ars, infos);
+  }
+
+ private:
+  using State = std::vector<std::set<int>>;  // per identity: reaching site ids
+
+  int IdentityOf(const IdentityKey& key) {
+    auto [it, inserted] = identity_ids_.emplace(key, static_cast<int>(identity_ids_.size()));
+    return it->second;
+  }
+
+  void AddSite(std::size_t op, const IdentityKey& key, AccessType type, const VarRef& var) {
+    Site site;
+    site.op = op;
+    site.identity = IdentityOf(key);
+    site.type = type;
+    sites_of_op_[op].push_back(static_cast<int>(sites_.size()));
+    site_var_.push_back(var);
+    sites_.push_back(site);
+  }
+
+  void CollectSites() {
+    sites_of_op_.assign(function_.ops.size(), {});
+    AliasClasses aliases(function_);
+    const auto const_defs =
+        options_.precise_aliasing ? SingleConstDefs(function_) : std::unordered_map<int, std::int64_t>{};
+
+    for (std::size_t i = 0; i < function_.ops.size(); ++i) {
+      const MirOp& op = function_.ops[i];
+      const auto access = SharedAccessOf(op);
+      if (access.has_value() && lsv_.Shared(access->base)) {
+        IdentityKey key{access->base.space, access->base.index, -1};
+        if (options_.precise_aliasing) {
+          if (access->base.space == VarRef::Space::kLocal &&
+              (op.kind == MirOp::Kind::kLoadPtr || op.kind == MirOp::Kind::kStorePtr)) {
+            key.index = aliases.Find(access->base.index);
+          }
+          if (op.kind == MirOp::Kind::kLoadIndex || op.kind == MirOp::Kind::kStoreIndex) {
+            const auto it = const_defs.find(op.a);
+            if (it != const_defs.end()) {
+              key.elem = static_cast<int>(it->second);
+            }
+          }
+        }
+        AddSite(i, key, access->type, access->base);
+      }
+      if (options_.interprocedural && op.kind == MirOp::Kind::kCall && summaries_ != nullptr) {
+        const MirFunction* callee = module_.FindFunction(op.callee);
+        if (callee != nullptr) {
+          const std::size_t callee_index =
+              static_cast<std::size_t>(callee - module_.functions.data());
+          for (const auto& [global, rw] : (*summaries_)[callee_index].globals) {
+            // The call stands for every access the callee may make to the
+            // global: pairs spanning the call become ARs around the call
+            // site. Writes dominate for pairing purposes.
+            const AccessType type = rw.second ? AccessType::kWrite : AccessType::kRead;
+            AddSite(i, IdentityKey{VarRef::Space::kGlobal, global, -1}, type,
+                    VarRef::Global(global));
+          }
+        }
+      }
+    }
+    num_identities_ = static_cast<int>(identity_ids_.size());
+  }
+
+  void ComputePredecessors() {
+    preds_.assign(function_.ops.size(), {});
+    std::vector<std::size_t> succs;
+    for (std::size_t i = 0; i < function_.ops.size(); ++i) {
+      SuccessorsOf(function_, i, succs);
+      for (const std::size_t s : succs) {
+        preds_[s].push_back(i);
+      }
+    }
+  }
+
+  // Applies op i's transfer function to `state`; records pairs.
+  void Transfer(std::size_t i, State& state) {
+    for (const int site_id : sites_of_op_[i]) {
+      const Site& site = sites_[static_cast<std::size_t>(site_id)];
+      for (const int prev : state[static_cast<std::size_t>(site.identity)]) {
+        if (prev != site_id) {
+          pairs_.insert({prev, site_id});
+        }
+      }
+      state[static_cast<std::size_t>(site.identity)] = {site_id};
+    }
+  }
+
+  static bool Merge(State& into, const State& from) {
+    bool changed = false;
+    for (std::size_t i = 0; i < into.size(); ++i) {
+      for (const int s : from[i]) {
+        changed |= into[i].insert(s).second;
+      }
+    }
+    return changed;
+  }
+
+  void Solve() {
+    const std::size_t n = function_.ops.size();
+    std::vector<State> in(n, State(static_cast<std::size_t>(num_identities_)));
+    std::vector<State> out(n, State(static_cast<std::size_t>(num_identities_)));
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        State merged(static_cast<std::size_t>(num_identities_));
+        for (const std::size_t p : preds_[i]) {
+          Merge(merged, out[p]);
+        }
+        if (Merge(in[i], merged)) {
+          changed = true;
+        }
+        State next = in[i];
+        Transfer(i, next);
+        if (Merge(out[i], next)) {
+          changed = true;
+        }
+      }
+    }
+  }
+
+  FunctionAnnotations BuildAnnotations(ArId& next_id, std::unordered_set<ArId>& sync_ars,
+                                       std::vector<ArDebugInfo>& infos) {
+    FunctionAnnotations annotations;
+    // Group pairs by first site; each group is one AR (Figure 6).
+    std::map<int, FunctionAr> by_first;
+    for (const auto& [first, second] : pairs_) {
+      const Site& a = sites_[static_cast<std::size_t>(first)];
+      const Site& b = sites_[static_cast<std::size_t>(second)];
+      FunctionAr& ar = by_first[first];
+      if (ar.first_op < 0) {
+        ar.var = site_var_[static_cast<std::size_t>(first)];
+        ar.first_op = static_cast<int>(a.op);
+        ar.first_type = a.type;
+        ar.needs_replica = a.type == AccessType::kWrite;
+        if (ar.var.space == VarRef::Space::kGlobal) {
+          ar.is_sync = module_.globals[static_cast<std::size_t>(ar.var.index)].is_sync;
+        }
+      }
+      ar.watch = Union(ar.watch, RemoteWatchFor(a.type, b.type));
+      ar.ends.emplace_back(static_cast<int>(b.op), b.type);
+    }
+    for (auto& [first, ar] : by_first) {
+      ar.id = next_id++;
+      std::sort(ar.ends.begin(), ar.ends.end());
+      ar.ends.erase(std::unique(ar.ends.begin(), ar.ends.end()), ar.ends.end());
+      if (ar.is_sync) {
+        sync_ars.insert(ar.id);
+      }
+      ArDebugInfo info;
+      info.id = ar.id;
+      info.function = function_.name;
+      info.variable = ar.var.space == VarRef::Space::kGlobal
+                          ? module_.globals[static_cast<std::size_t>(ar.var.index)].name
+                          : function_.locals[static_cast<std::size_t>(ar.var.index)].name;
+      info.line = function_.ops[static_cast<std::size_t>(ar.first_op)].line;
+      infos.push_back(info);
+      annotations.ars.push_back(std::move(ar));
+    }
+    return annotations;
+  }
+
+  const MirModule& module_;
+  const MirFunction& function_;
+  const LsvResult& lsv_;
+  const AnnotateOptions& options_;
+  const std::vector<GlobalAccessSummary>* summaries_;
+
+  std::vector<Site> sites_;
+  std::vector<VarRef> site_var_;
+  std::vector<std::vector<int>> sites_of_op_;
+  std::map<IdentityKey, int> identity_ids_;
+  int num_identities_ = 0;
+  std::vector<std::vector<std::size_t>> preds_;
+  std::set<std::pair<int, int>> pairs_;
+};
+
+}  // namespace
+
+std::vector<GlobalAccessSummary> ComputeCallSummaries(const MirModule& module) {
+  std::vector<GlobalAccessSummary> summaries(module.functions.size());
+  // Seed with direct accesses.
+  for (std::size_t f = 0; f < module.functions.size(); ++f) {
+    for (const MirOp& op : module.functions[f].ops) {
+      const auto access = SharedAccessOf(op);
+      if (access.has_value() && access->base.space == VarRef::Space::kGlobal) {
+        auto& rw = summaries[f].globals[access->base.index];
+        rw.first |= access->type == AccessType::kRead;
+        rw.second |= access->type == AccessType::kWrite;
+      }
+    }
+  }
+  // Propagate through the call graph to a fixed point (handles recursion).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t f = 0; f < module.functions.size(); ++f) {
+      for (const MirOp& op : module.functions[f].ops) {
+        if (op.kind != MirOp::Kind::kCall) {
+          continue;
+        }
+        const MirFunction* callee = module.FindFunction(op.callee);
+        if (callee == nullptr) {
+          continue;
+        }
+        const std::size_t c = static_cast<std::size_t>(callee - module.functions.data());
+        for (const auto& [global, rw] : summaries[c].globals) {
+          auto& mine = summaries[f].globals[global];
+          const auto before = mine;
+          mine.first |= rw.first;
+          mine.second |= rw.second;
+          changed |= mine != before;
+        }
+      }
+    }
+  }
+  return summaries;
+}
+
+ModuleAnnotations Annotate(const MirModule& module, const AnnotateOptions& options) {
+  ModuleAnnotations annotations;
+  std::vector<GlobalAccessSummary> summaries;
+  if (options.interprocedural) {
+    summaries = ComputeCallSummaries(module);
+  }
+  ArId next_id = 1;
+  for (std::size_t f = 0; f < module.functions.size(); ++f) {
+    const LsvResult lsv = ComputeLsv(module.functions[f]);
+    annotations.functions.push_back(
+        PairAnalysis(module, f, lsv, options, options.interprocedural ? &summaries : nullptr)
+            .Run(next_id, annotations.sync_ars, annotations.infos));
+  }
+  return annotations;
+}
+
+}  // namespace kivati

@@ -1,0 +1,91 @@
+// Atomic-region analysis and annotation (paper §2.2, §3.1).
+//
+// For each subroutine, a path-insensitive forward data-flow analysis finds
+// every pair of consecutive accesses to the same shared variable (like
+// reaching definitions, but preceding *reads* also reach). Pairs sharing the
+// same first access are merged into one atomic region whose remote watch
+// type is the union over its possible second accesses (Figure 6, including
+// the bottom-right case where both remote reads and writes must be watched);
+// the end_atomic at each second-access site carries that site's access type
+// so the kernel can decide serializability once the taken path is known.
+#ifndef KIVATI_ANALYSIS_ATOMIC_REGIONS_H_
+#define KIVATI_ANALYSIS_ATOMIC_REGIONS_H_
+
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "analysis/lsv.h"
+#include "analysis/mir.h"
+
+namespace kivati {
+
+// One atomic region found in a function.
+struct FunctionAr {
+  ArId id = kInvalidAr;
+  VarRef var;                      // the shared variable (name-based identity)
+  int first_op = -1;               // op index of the first local access
+  AccessType first_type = AccessType::kRead;
+  WatchType watch = WatchType::kNone;  // union over possible second accesses
+  // Every op after which an end_atomic for this AR is placed, with the
+  // access type that op performs.
+  std::vector<std::pair<int, AccessType>> ends;
+  bool is_sync = false;            // variable carries the `sync` qualifier
+  bool needs_replica = false;      // first access is a write (optimization 3)
+};
+
+struct FunctionAnnotations {
+  std::vector<FunctionAr> ars;
+};
+
+// Debug metadata so violation reports can name the variable and function.
+struct ArDebugInfo {
+  ArId id = kInvalidAr;
+  std::string function;
+  std::string variable;
+  int line = 0;
+};
+
+struct ModuleAnnotations {
+  std::vector<FunctionAnnotations> functions;  // parallel to module.functions
+  std::unordered_set<ArId> sync_ars;
+  std::vector<ArDebugInfo> infos;              // indexed by (id - 1)
+
+  const ArDebugInfo* InfoFor(ArId ar) const {
+    if (ar == kInvalidAr || ar == 0 || ar > infos.size()) {
+      return nullptr;
+    }
+    return &infos[ar - 1];
+  }
+};
+
+// Precision extensions beyond the paper's prototype (its §3.5/§6 future
+// work). Both default off, matching the published system.
+struct AnnotateOptions {
+  // Treat a call as an access to every global the callee (transitively) may
+  // touch, so access pairs spanning subroutine calls become atomic regions
+  // bracketing the call site.
+  bool interprocedural = false;
+  // (a) Unify pointer locals connected by copies, so *p and *q pair when q
+  // derives from p; (b) give array accesses with provably constant indices
+  // per-element identity instead of whole-array identity.
+  bool precise_aliasing = false;
+};
+
+// Runs LSV + pairing over every function; assigns globally unique AR ids
+// starting at 1.
+ModuleAnnotations Annotate(const MirModule& module, const AnnotateOptions& options = {});
+
+// The (read, write) may-access sets over globals, per function, transitively
+// including callees. Exposed for tests and tools.
+struct GlobalAccessSummary {
+  // global index -> (may_read, may_write)
+  std::map<int, std::pair<bool, bool>> globals;
+};
+std::vector<GlobalAccessSummary> ComputeCallSummaries(const MirModule& module);
+
+}  // namespace kivati
+
+#endif  // KIVATI_ANALYSIS_ATOMIC_REGIONS_H_

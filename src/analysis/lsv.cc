@@ -1,0 +1,84 @@
+#include "analysis/lsv.h"
+
+namespace kivati {
+
+LsvResult ComputeLsv(const MirFunction& function) {
+  LsvResult result;
+  result.local_in_lsv.assign(function.locals.size(), false);
+  auto mark = [&result](int local) -> bool {
+    if (local < 0 || result.local_in_lsv[static_cast<std::size_t>(local)]) {
+      return false;
+    }
+    result.local_in_lsv[static_cast<std::size_t>(local)] = true;
+    return true;
+  };
+
+  // Seeds: pointer parameters (arguments passed by reference), memory-
+  // resident locals whose address is taken, and local arrays whose elements'
+  // addresses escape.
+  for (std::size_t i = 0; i < function.locals.size(); ++i) {
+    const MirLocal& local = function.locals[i];
+    if ((local.is_param && local.is_pointer) || local.address_taken) {
+      result.local_in_lsv[i] = true;
+    }
+  }
+  for (const MirOp& op : function.ops) {
+    if (op.kind == MirOp::Kind::kAddrIndex && op.array.space == VarRef::Space::kLocal) {
+      mark(op.array.index);
+    }
+    if (op.kind == MirOp::Kind::kAddrLocal) {
+      mark(op.local_mem);
+    }
+  }
+
+  // Closure: anything data-flow dependent on an LSV member joins the LSV.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const MirOp& op : function.ops) {
+      const auto shared_local = [&](int local) {
+        return local >= 0 && result.local_in_lsv[static_cast<std::size_t>(local)];
+      };
+      bool source_shared = false;
+      switch (op.kind) {
+        case MirOp::Kind::kCopy:
+          source_shared = shared_local(op.a);
+          break;
+        case MirOp::Kind::kBin:
+          source_shared = shared_local(op.a) || shared_local(op.b);
+          break;
+        case MirOp::Kind::kLoadGlobal:
+        case MirOp::Kind::kAddrGlobal:
+          source_shared = true;  // globals are always in the LSV
+          break;
+        case MirOp::Kind::kLoadIndex:
+        case MirOp::Kind::kAddrIndex:
+          source_shared = op.array.space == VarRef::Space::kGlobal ||
+                          shared_local(op.array.index) || shared_local(op.a);
+          break;
+        case MirOp::Kind::kLoadPtr:
+          source_shared = shared_local(op.a);
+          break;
+        case MirOp::Kind::kLoadLocalMem:
+          source_shared = shared_local(op.local_mem);
+          break;
+        case MirOp::Kind::kAddrLocal:
+          source_shared = shared_local(op.local_mem);
+          break;
+        case MirOp::Kind::kCall:
+          // Pointers returned from called subroutines are seeds (§3.1);
+          // without return types every call result is conservatively shared.
+          source_shared = true;
+          break;
+        default:
+          break;
+      }
+      if (source_shared && mark(op.dst)) {
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace kivati

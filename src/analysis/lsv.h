@@ -1,0 +1,37 @@
+// List of Shared Variables (LSV) analysis — paper §3.1.
+//
+// Per subroutine: seed with all globals, arguments passed by reference
+// (pointer parameters), and pointers returned from called subroutines, then
+// run a data-flow closure adding every variable data-flow dependent on a
+// variable already in the LSV. The result over-approximates the truly
+// shared set; non-shared entries cost monitoring overhead but never produce
+// violations at run time.
+#ifndef KIVATI_ANALYSIS_LSV_H_
+#define KIVATI_ANALYSIS_LSV_H_
+
+#include <vector>
+
+#include "analysis/mir.h"
+
+namespace kivati {
+
+struct LsvResult {
+  // Indexed by local id; globals are always considered shared.
+  std::vector<bool> local_in_lsv;
+
+  bool Shared(const VarRef& ref) const {
+    if (ref.space == VarRef::Space::kGlobal) {
+      return true;
+    }
+    if (ref.space == VarRef::Space::kLocal) {
+      return local_in_lsv[static_cast<std::size_t>(ref.index)];
+    }
+    return false;
+  }
+};
+
+LsvResult ComputeLsv(const MirFunction& function);
+
+}  // namespace kivati
+
+#endif  // KIVATI_ANALYSIS_LSV_H_

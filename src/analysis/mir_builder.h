@@ -1,0 +1,27 @@
+// AST -> MIR lowering (the normalization CIL performs before analysis).
+#ifndef KIVATI_ANALYSIS_MIR_BUILDER_H_
+#define KIVATI_ANALYSIS_MIR_BUILDER_H_
+
+#include <stdexcept>
+#include <string>
+
+#include "analysis/mir.h"
+#include "lang/ast.h"
+
+namespace kivati {
+
+class LoweringError : public std::runtime_error {
+ public:
+  explicit LoweringError(const std::string& message) : std::runtime_error(message) {}
+};
+
+// Lowers a parsed translation unit. Throws LoweringError on semantic errors
+// (unknown variables, misused builtins, too many call arguments).
+MirModule BuildMir(const TranslationUnit& unit);
+
+// The builtin function names recognized during lowering.
+bool IsBuiltinName(const std::string& name);
+
+}  // namespace kivati
+
+#endif  // KIVATI_ANALYSIS_MIR_BUILDER_H_

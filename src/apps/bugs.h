@@ -1,0 +1,59 @@
+// The atomicity-violation bug corpus (paper §4.2, Table 6).
+//
+// Eleven bugs drawn from the bug databases of Apache, Mozilla NSS and MySQL
+// are modelled as mini-C workloads. Each bug is an instance of one of four
+// interleaving patterns (the paper's Figure 2), with per-bug trigger rates
+// calibrated so the relative detection-time ordering of Table 6 reproduces:
+// frequent-trigger bugs manifest quickly even in prevention mode, while the
+// rarest ones only surface under bug-finding pauses.
+//
+//   kCheckThenSet   R..W  local check-then-update, remote write  (lost update)
+//   kUpdateThenUse  W..R  local update-then-use, remote write
+//   kDirtyRead      W..W  local two-step update, remote read sees the middle
+//   kDoubleRead     R..R  local double read, remote write between
+#ifndef KIVATI_APPS_BUGS_H_
+#define KIVATI_APPS_BUGS_H_
+
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace kivati {
+namespace apps {
+
+enum class BugPattern {
+  kCheckThenSet,
+  kUpdateThenUse,
+  kDirtyRead,
+  kDoubleRead,
+};
+
+struct BugInfo {
+  std::string app;       // "Apache", "NSS", "MySQL"
+  std::string id;        // bug-database id, e.g. "44402"
+  BugPattern pattern;
+  // Trigger calibration: the local thread enters the buggy region when
+  // (rng & gate_mask) == 0; the remote thread touches the variable when
+  // (rng & touch_mask) == 0; window_work pads the region's vulnerable
+  // window.
+  int gate_mask = 255;
+  int touch_mask = 63;
+  int window_work = 30;
+
+  // The shared variable name in the generated source, e.g. "nss341323_v".
+  std::string variable() const;
+};
+
+// The full corpus, in Table 6's row order.
+const std::vector<BugInfo>& BugCorpus();
+
+// Builds the workload for one bug: a local thread that repeatedly applies
+// the triggering input, a remote thread that makes the interleaving access,
+// and a noise thread exercising unrelated shared state.
+App MakeBugApp(const BugInfo& bug);
+
+}  // namespace apps
+}  // namespace kivati
+
+#endif  // KIVATI_APPS_BUGS_H_

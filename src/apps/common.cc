@@ -1,0 +1,42 @@
+#include "apps/common.h"
+
+namespace kivati {
+namespace apps {
+
+std::unordered_set<ArId> ArsOnVariable(const CompiledProgram& compiled,
+                                       const std::string& variable) {
+  std::unordered_set<ArId> result;
+  for (const ArDebugInfo& info : compiled.ar_infos) {
+    if (info.variable == variable) {
+      result.insert(info.id);
+    }
+  }
+  return result;
+}
+
+App AssembleApp(const std::string& name, const std::string& source,
+                const std::string& worker_function, int workers,
+                const std::vector<std::string>& buggy_vars, Cycles default_max_cycles,
+                const AnnotateOptions& annotator) {
+  App app;
+  CompileOptions compile_options;
+  compile_options.annotator = annotator;
+  auto compiled = std::make_shared<CompiledProgram>(CompileSource(source, compile_options));
+  app.workload.name = name;
+  app.workload.program = compiled->program;
+  for (int i = 0; i < workers; ++i) {
+    app.workload.threads.emplace_back(worker_function, static_cast<std::uint64_t>(i));
+  }
+  app.workload.init = [compiled](AddressSpace& memory) { compiled->InitMemory(memory); };
+  app.workload.sync_var_ars = compiled->sync_ars;
+  for (const std::string& var : buggy_vars) {
+    const auto ars = ArsOnVariable(*compiled, var);
+    app.workload.buggy_ars.insert(ars.begin(), ars.end());
+  }
+  app.workload.default_max_cycles = default_max_cycles;
+  app.compiled = std::move(compiled);
+  return app;
+}
+
+}  // namespace apps
+}  // namespace kivati

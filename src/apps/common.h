@@ -1,0 +1,55 @@
+// Shared plumbing for the synthetic application suite (paper Table 2).
+//
+// Each application is a mini-C program modelling the sharing patterns of the
+// paper's real workload: lock-protected state (sync variables), unprotected
+// benign races (the false-positive sources), spin-wait communication
+// (required violations), compute phases, and — in the bug workloads —
+// faithful reproductions of the reported atomicity-violation bugs.
+#ifndef KIVATI_APPS_COMMON_H_
+#define KIVATI_APPS_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "compile/compiler.h"
+#include "core/workload.h"
+
+namespace kivati {
+namespace apps {
+
+// A workload together with its compilation artifacts (global addresses and
+// AR debug info, used by experiment harnesses).
+struct App {
+  Workload workload;
+  std::shared_ptr<const CompiledProgram> compiled;
+};
+
+// Scale knobs common to the performance workloads. Defaults are sized so a
+// full Table-3 sweep runs in seconds of host time while still executing
+// hundreds of thousands of annotations.
+struct LoadScale {
+  int workers = 4;
+  int iterations = 250;
+  // Annotator configuration used when compiling the workload (defaults to
+  // the paper's basic intra-procedural, name-based analysis).
+  AnnotateOptions annotator;
+};
+
+// All AR ids whose shared variable is named `variable` (any function).
+std::unordered_set<ArId> ArsOnVariable(const CompiledProgram& compiled,
+                                       const std::string& variable);
+
+// Assembles an App: compiles `source`, creates `workers` threads running
+// `worker_function` with ids 0..workers-1, wires up memory initialization,
+// sync-var ARs and the buggy-AR set (ARs on any variable in `buggy_vars`).
+App AssembleApp(const std::string& name, const std::string& source,
+                const std::string& worker_function, int workers,
+                const std::vector<std::string>& buggy_vars = {},
+                Cycles default_max_cycles = 400'000'000,
+                const AnnotateOptions& annotator = {});
+
+}  // namespace apps
+}  // namespace kivati
+
+#endif  // KIVATI_APPS_COMMON_H_

@@ -1,0 +1,45 @@
+// The five performance workloads of the paper's Table 2, as synthetic
+// mini-C applications:
+//
+//   NSS      — Mozilla security library: lock-protected session/cert state,
+//              double-checked initialization, unprotected stat counters.
+//   VLC      — media player: decoder/renderer threads around a lock-
+//              protected FIFO, unprotected frame counters.
+//   Webstone — Apache web server under a request generator: worker pool,
+//              per-request I/O + parsing, shared log buffer with an
+//              unprotected length field, latency marks (tag 1).
+//   TPC-W    — MySQL under a transactional web mix: row locks, unprotected
+//              hot counters, binlog append, latency marks (tag 2).
+//   SPEC OMP — data-parallel compute: disjoint array chunks, spin barriers
+//              (the paper's Figure-5 "required violation" pattern), and a
+//              lock-protected reduction.
+//
+// Every factory returns the compiled workload plus its compilation
+// artifacts; `LoadScale` controls thread count and iteration counts.
+#ifndef KIVATI_APPS_WORKLOADS_H_
+#define KIVATI_APPS_WORKLOADS_H_
+
+#include <vector>
+
+#include "apps/common.h"
+
+namespace kivati {
+namespace apps {
+
+App MakeNss(const LoadScale& scale = {});
+App MakeVlc(const LoadScale& scale = {});
+App MakeWebstone(const LoadScale& scale = {});
+App MakeTpcw(const LoadScale& scale = {});
+App MakeSpecOmp(const LoadScale& scale = {});
+
+// All five, in the paper's row order.
+std::vector<App> AllPerformanceApps(const LoadScale& scale = {});
+
+// Latency mark tags used by the server workloads.
+inline constexpr std::int64_t kWebstoneLatencyTag = 1;
+inline constexpr std::int64_t kTpcwLatencyTag = 2;
+
+}  // namespace apps
+}  // namespace kivati
+
+#endif  // KIVATI_APPS_WORKLOADS_H_

@@ -1,0 +1,65 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+#include "common/types.h"
+
+namespace kivati {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+    return;
+  }
+  std::fprintf(stderr, "[kivati %s] %s\n", LevelTag(level), message.c_str());
+}
+
+const char* ToString(AccessType type) {
+  return type == AccessType::kRead ? "read" : "write";
+}
+
+const char* ToString(WatchType type) {
+  switch (type) {
+    case WatchType::kNone:
+      return "none";
+    case WatchType::kRead:
+      return "read";
+    case WatchType::kWrite:
+      return "write";
+    case WatchType::kReadWrite:
+      return "read/write";
+  }
+  return "?";
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace kivati

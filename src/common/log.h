@@ -1,0 +1,57 @@
+// Minimal leveled logging for the simulator and tools.
+//
+// Logging defaults to kWarning so tests and benchmarks stay quiet; harnesses
+// raise the level when diagnosing a run. Not thread-safe by design: the
+// simulator is single-OS-threaded (it simulates concurrency, it does not use
+// it).
+#ifndef KIVATI_COMMON_LOG_H_
+#define KIVATI_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace kivati {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Sets/returns the global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr if `level` passes the global filter.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+// Stream-style helper: collects the message and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace kivati
+
+#define KIVATI_LOG(level) ::kivati::log_internal::LogLine(::kivati::LogLevel::level)
+
+#endif  // KIVATI_COMMON_LOG_H_

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every source of nondeterminism in Kivati's experiments (scheduler choices,
+// workload think times, request mixes) draws from an Xoshiro256** generator
+// seeded explicitly, so any run is reproducible from its seed.
+#ifndef KIVATI_COMMON_RNG_H_
+#define KIVATI_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace kivati {
+
+// SplitMix64 step, used to expand a single seed into generator state.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// Xoshiro256** — fast, high-quality, and tiny. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  std::uint64_t Next();
+
+  // Uniform over [0, bound). bound must be nonzero.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform real in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Forks an independent stream; the child is a deterministic function of the
+  // parent's current state, and advancing the child does not perturb the
+  // parent. Used to give each simulated thread its own stream.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_COMMON_RNG_H_

@@ -1,0 +1,18 @@
+// MIR -> ISA code generation.
+#ifndef KIVATI_COMPILE_CODEGEN_H_
+#define KIVATI_COMPILE_CODEGEN_H_
+
+#include "analysis/atomic_regions.h"
+#include "analysis/mir.h"
+#include "isa/program.h"
+
+namespace kivati {
+
+// Generates code for `module`. `annotations` may be null (vanilla build).
+// `emit_replica_stores` controls the optimization-3 shared-page stores.
+Program GenerateCode(const MirModule& module, const ModuleAnnotations* annotations,
+                     bool emit_replica_stores);
+
+}  // namespace kivati
+
+#endif  // KIVATI_COMPILE_CODEGEN_H_

@@ -1,0 +1,52 @@
+#include "compile/compiler.h"
+
+#include "analysis/mir_builder.h"
+#include "compile/codegen.h"
+#include "lang/parser.h"
+
+namespace kivati {
+
+void CompiledProgram::InitMemory(AddressSpace& memory) const {
+  for (const auto& [addr, value] : initializers) {
+    memory.Write(addr, 8, value);
+  }
+}
+
+CompiledProgram Compile(const TranslationUnit& unit, const CompileOptions& options) {
+  MirModule module = BuildMir(unit);
+
+  // Lay out globals in the data segment: scalars and arrays, 8 bytes per
+  // element, in declaration order (deterministic addresses for tests).
+  Addr next = kDataBase;
+  for (MirGlobal& global : module.globals) {
+    global.addr = next;
+    const std::int64_t words = global.array_size > 0 ? global.array_size : 1;
+    next += 8 * static_cast<Addr>(words);
+  }
+
+  ModuleAnnotations annotations;
+  if (options.annotate) {
+    annotations = Annotate(module, options.annotator);
+  }
+
+  CompiledProgram out;
+  out.program = GenerateCode(module, options.annotate ? &annotations : nullptr,
+                             options.emit_replica_stores);
+  for (const MirGlobal& global : module.globals) {
+    out.global_addrs.emplace(global.name, global.addr);
+    if (global.array_size == 0 && global.init_value != 0) {
+      out.initializers.emplace_back(global.addr,
+                                    static_cast<std::uint64_t>(global.init_value));
+    }
+  }
+  out.sync_ars = std::move(annotations.sync_ars);
+  out.ar_infos = std::move(annotations.infos);
+  out.num_ars = out.ar_infos.size();
+  return out;
+}
+
+CompiledProgram CompileSource(const std::string& source, const CompileOptions& options) {
+  return Compile(Parse(source), options);
+}
+
+}  // namespace kivati

@@ -1,0 +1,56 @@
+// Compiler driver: mini-C source -> annotated simulated binary.
+//
+// Pipeline: parse -> lower to MIR -> assign global addresses -> run the
+// annotator (LSV + atomic regions, paper §3.1) -> generate ISA code with
+// begin_atomic / end_atomic / clear_ar annotations and the optimization-3
+// replica stores -> build the Program (whose RollbackTable the machine
+// derives, standing in for the paper's binary pre-processing pass).
+#ifndef KIVATI_COMPILE_COMPILER_H_
+#define KIVATI_COMPILE_COMPILER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "analysis/atomic_regions.h"
+#include "isa/program.h"
+#include "lang/ast.h"
+#include "mem/address_space.h"
+
+namespace kivati {
+
+struct CompileOptions {
+  // Insert Kivati annotations. False produces the "vanilla" binary used as
+  // the experiments' baseline.
+  bool annotate = true;
+  // Emit the shared-page replica store after AR-opening/closing local
+  // writes (needed by optimization 3; one extra user instruction each).
+  bool emit_replica_stores = true;
+  // Annotator precision extensions (paper §3.5/§6 future work).
+  AnnotateOptions annotator;
+};
+
+struct CompiledProgram {
+  Program program;
+  std::unordered_map<std::string, Addr> global_addrs;
+  // (address, value) pairs to write before running (global initializers).
+  std::vector<std::pair<Addr, std::uint64_t>> initializers;
+  // AR ids over synchronization variables (feed optimization 4's whitelist).
+  std::unordered_set<ArId> sync_ars;
+  // Debug info for every AR, indexed by (id - 1).
+  std::vector<ArDebugInfo> ar_infos;
+  std::size_t num_ars = 0;
+
+  Addr GlobalAddr(const std::string& name) const { return global_addrs.at(name); }
+  // Writes all initializers into `memory` (use as a Workload::init).
+  void InitMemory(AddressSpace& memory) const;
+};
+
+CompiledProgram Compile(const TranslationUnit& unit, const CompileOptions& options = {});
+CompiledProgram CompileSource(const std::string& source, const CompileOptions& options = {});
+
+}  // namespace kivati
+
+#endif  // KIVATI_COMPILE_COMPILER_H_

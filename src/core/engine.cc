@@ -1,0 +1,27 @@
+#include "core/engine.h"
+
+namespace kivati {
+
+Engine::Engine(const Workload& workload, EngineOptions options)
+    : default_max_(workload.default_max_cycles),
+      machine_(workload.program, options.machine) {
+  if (options.kivati.has_value()) {
+    KivatiConfig config = *options.kivati;
+    if (options.whitelist_sync_vars) {
+      config.whitelist.insert(workload.sync_var_ars.begin(), workload.sync_var_ars.end());
+    }
+    runtime_ = std::make_unique<KivatiRuntime>(machine_, config);
+  }
+  if (workload.init) {
+    workload.init(machine_.memory());
+  }
+  for (const auto& [function, arg] : workload.threads) {
+    machine_.SpawnThreadByName(function, arg);
+  }
+}
+
+RunResult Engine::Run(std::optional<Cycles> max_cycles) {
+  return machine_.Run(max_cycles.value_or(default_max_));
+}
+
+}  // namespace kivati

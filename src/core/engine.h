@@ -1,0 +1,57 @@
+// Top-level public API: assemble a machine, optionally protect it with
+// Kivati, run a workload, inspect the results.
+//
+// Typical use:
+//
+//   kivati::Workload w = kivati::apps::MakeNssWorkload(...);
+//   kivati::EngineOptions opts;
+//   opts.kivati = kivati::KivatiConfig::PresetFor(
+//       kivati::OptimizationPreset::kOptimized, kivati::KivatiMode::kPrevention);
+//   kivati::Engine engine(w, opts);
+//   auto result = engine.Run();
+//   for (const auto& v : engine.trace().violations()) { ... }
+#ifndef KIVATI_CORE_ENGINE_H_
+#define KIVATI_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/workload.h"
+#include "runtime/kivati_runtime.h"
+#include "sched/machine.h"
+
+namespace kivati {
+
+struct EngineOptions {
+  MachineConfig machine;
+  // Absent -> vanilla run (no Kivati protection, annotations are no-ops).
+  std::optional<KivatiConfig> kivati;
+  // Adds the workload's sync-var ARs to the whitelist (optimization 4 /
+  // Table 3's "SyncVars" configuration).
+  bool whitelist_sync_vars = false;
+};
+
+class Engine {
+ public:
+  Engine(const Workload& workload, EngineOptions options);
+
+  // Runs until the workload completes or `max_cycles` (defaulting to the
+  // workload's budget) elapses.
+  RunResult Run(std::optional<Cycles> max_cycles = std::nullopt);
+
+  Machine& machine() { return machine_; }
+  Trace& trace() { return machine_.trace(); }
+  const Trace& trace() const { return const_cast<Machine&>(machine_).trace(); }
+
+  // Null for vanilla runs.
+  KivatiRuntime* runtime() { return runtime_.get(); }
+
+ private:
+  Cycles default_max_;
+  Machine machine_;
+  std::unique_ptr<KivatiRuntime> runtime_;
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_CORE_ENGINE_H_

@@ -1,0 +1,40 @@
+#include "core/trainer.h"
+
+#include <unordered_set>
+
+namespace kivati {
+
+TrainingResult Train(const Workload& workload, const TrainingOptions& options) {
+  TrainingResult result;
+  Whitelist accumulated(options.kivati.whitelist);
+
+  for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    EngineOptions engine_options;
+    engine_options.machine = options.machine;
+    if (options.reseed_each_iteration) {
+      engine_options.machine.seed = options.machine.seed + static_cast<std::uint64_t>(iteration);
+    }
+    KivatiConfig config = options.kivati;
+    config.whitelist = accumulated.ids();
+    engine_options.kivati = config;
+    engine_options.whitelist_sync_vars = options.whitelist_sync_vars;
+
+    Engine engine(workload, engine_options);
+    engine.Run();
+
+    std::unordered_set<ArId> false_positive_ars;
+    for (const ViolationRecord& v : engine.trace().violations()) {
+      if (!workload.buggy_ars.contains(v.ar_id)) {
+        false_positive_ars.insert(v.ar_id);
+      }
+    }
+    result.false_positives.push_back(false_positive_ars.size());
+    for (const ArId ar : false_positive_ars) {
+      accumulated.Add(ar);
+    }
+  }
+  result.whitelist = accumulated;
+  return result;
+}
+
+}  // namespace kivati

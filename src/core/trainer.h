@@ -1,0 +1,40 @@
+// Whitelist training (paper §4.2, Figure 7).
+//
+// Runs a workload repeatedly; after each iteration, every AR that suffered a
+// violation and is not a known injected bug is a false positive and is added
+// to the whitelist for subsequent iterations. The per-iteration false
+// positive counts are Figure 7's series; bug-finding mode converges faster
+// because its pauses surface more benign violations per run.
+#ifndef KIVATI_CORE_TRAINER_H_
+#define KIVATI_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "core/engine.h"
+#include "core/workload.h"
+#include "runtime/whitelist.h"
+
+namespace kivati {
+
+struct TrainingOptions {
+  MachineConfig machine;
+  KivatiConfig kivati;
+  bool whitelist_sync_vars = false;
+  int iterations = 8;
+  // Vary the scheduler seed per iteration so different interleavings are
+  // explored, as successive real runs would.
+  bool reseed_each_iteration = true;
+};
+
+struct TrainingResult {
+  // False positives observed in each iteration (Figure 7's y-axis).
+  std::vector<std::size_t> false_positives;
+  // The accumulated whitelist after all iterations.
+  Whitelist whitelist;
+};
+
+TrainingResult Train(const Workload& workload, const TrainingOptions& options);
+
+}  // namespace kivati
+
+#endif  // KIVATI_CORE_TRAINER_H_

@@ -1,0 +1,44 @@
+// A runnable workload: an annotated program plus everything needed to run it
+// (initial threads, memory initialization) and the metadata the experiment
+// harnesses need (which ARs are sync variables, which are injected bugs).
+#ifndef KIVATI_CORE_WORKLOAD_H_
+#define KIVATI_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "isa/program.h"
+#include "mem/address_space.h"
+
+namespace kivati {
+
+struct Workload {
+  std::string name;
+  Program program;
+
+  // Threads to start before running: (function name, r0 argument).
+  std::vector<std::pair<std::string, std::uint64_t>> threads;
+
+  // Optional initialization of globals before the run.
+  std::function<void(AddressSpace&)> init;
+
+  // AR ids the annotator classified as synchronization-variable regions
+  // (candidates for the paper's optimization-4 whitelist).
+  std::unordered_set<ArId> sync_var_ars;
+
+  // AR ids corresponding to deliberately injected atomicity-violation bugs;
+  // violations on these are true positives, everything else counts as a
+  // false positive in the paper's §4.2 sense.
+  std::unordered_set<ArId> buggy_ars;
+
+  // Cycle budget a harness should give the workload by default.
+  Cycles default_max_cycles = 200'000'000;
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_CORE_WORKLOAD_H_

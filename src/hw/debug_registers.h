@@ -1,0 +1,73 @@
+// Model of per-core hardware watchpoint (debug) registers.
+//
+// Mirrors the x86 DR0-DR3/DR7 facility that Kivati programs from ring 0:
+// each core has a small bank of watchpoints, each configured with a byte
+// address, an access width (1, 2, 4 or 8 bytes) and a trap condition (read,
+// write, or both). The bank size defaults to 4, as on Intel/AMD x86, but is
+// configurable because the paper's Table 9 sweeps 2-12 registers.
+//
+// Trap delivery semantics are modelled explicitly:
+//   kAfter  — the trap is raised after the accessing instruction retires
+//             (x86, ARM): the access has committed and must be *undone* to
+//             be reordered. This is the hard case the paper solves.
+//   kBefore — the trap is raised before the access commits (SPARC): the
+//             access can simply be delayed. Provided for the ablation bench.
+#ifndef KIVATI_HW_DEBUG_REGISTERS_H_
+#define KIVATI_HW_DEBUG_REGISTERS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kivati {
+
+inline constexpr unsigned kDefaultWatchpointCount = 4;  // x86
+inline constexpr unsigned kMaxWatchpointCount = 16;
+
+enum class TrapDelivery : std::uint8_t {
+  kAfter,   // x86/ARM: trap after the access has committed
+  kBefore,  // SPARC: trap before the access commits
+};
+
+struct WatchpointConfig {
+  bool enabled = false;
+  Addr addr = 0;
+  unsigned size = 0;          // watched width in bytes
+  WatchType watch = WatchType::kNone;
+};
+
+class DebugRegisterFile {
+ public:
+  explicit DebugRegisterFile(unsigned count = kDefaultWatchpointCount);
+
+  unsigned count() const { return static_cast<unsigned>(regs_.size()); }
+  const WatchpointConfig& Get(unsigned slot) const { return regs_[slot]; }
+
+  // Programs slot `slot`; any previous configuration is replaced.
+  void Set(unsigned slot, Addr addr, unsigned size, WatchType watch);
+  // Disables slot `slot`.
+  void Clear(unsigned slot);
+  void ClearAll();
+
+  // Returns the lowest-numbered enabled slot whose watched range overlaps
+  // [addr, addr+size) and whose trap condition matches `type`.
+  std::optional<unsigned> Match(Addr addr, unsigned size, AccessType type) const;
+
+  // Copies the full register image from `other` (the cross-core sync step).
+  void CopyFrom(const DebugRegisterFile& other);
+
+  // Monotonic generation number, bumped on every mutation. Cores compare
+  // generations against the kernel's canonical image to decide whether an
+  // opportunistic sync is needed.
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::vector<WatchpointConfig> regs_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_HW_DEBUG_REGISTERS_H_

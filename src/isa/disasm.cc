@@ -1,0 +1,126 @@
+#include "isa/disasm.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace kivati {
+namespace {
+
+std::string RegName(RegId reg) {
+  if (reg == kRegSp) {
+    return "sp";
+  }
+  if (reg == kNoReg) {
+    return "r?";
+  }
+  return "r" + std::to_string(static_cast<int>(reg));
+}
+
+std::string MemName(const MemOperand& mem) {
+  char buf[64];
+  if (mem.base == kNoReg) {
+    std::snprintf(buf, sizeof(buf), "[0x%" PRIx64 "]", static_cast<std::uint64_t>(mem.offset));
+  } else if (mem.offset == 0) {
+    std::snprintf(buf, sizeof(buf), "[%s]", RegName(mem.base).c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "[%s%+" PRId64 "]", RegName(mem.base).c_str(), mem.offset);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Disassemble(const Instruction& instr) {
+  std::ostringstream out;
+  out << ToString(instr.op);
+  switch (instr.op) {
+    case Opcode::kLoadImm:
+      out << " " << RegName(instr.rd) << ", " << instr.imm;
+      break;
+    case Opcode::kMov:
+      out << " " << RegName(instr.rd) << ", " << RegName(instr.rs1);
+      break;
+    case Opcode::kLoad:
+      out << " " << RegName(instr.rd) << ", " << MemName(instr.mem) << " (" << instr.size << "B)";
+      break;
+    case Opcode::kStore:
+      out << " " << MemName(instr.mem) << ", " << RegName(instr.rs1) << " (" << instr.size << "B)";
+      break;
+    case Opcode::kMovM:
+      out << " " << MemName(instr.mem) << ", " << MemName(instr.mem2) << " (" << instr.size
+          << "B)";
+      break;
+    case Opcode::kXchg:
+      out << " " << RegName(instr.rd) << ", " << MemName(instr.mem) << ", " << RegName(instr.rs1);
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+      out << " " << RegName(instr.rd) << ", " << RegName(instr.rs1) << ", "
+          << RegName(instr.rs2);
+      break;
+    case Opcode::kAddI:
+      out << " " << RegName(instr.rd) << ", " << RegName(instr.rs1) << ", " << instr.imm;
+      break;
+    case Opcode::kJmp:
+    case Opcode::kCall:
+      out << " 0x" << std::hex << instr.target;
+      break;
+    case Opcode::kBnz:
+    case Opcode::kBz:
+      out << " " << RegName(instr.rs1) << ", 0x" << std::hex << instr.target;
+      break;
+    case Opcode::kCallInd:
+    case Opcode::kPushM:
+      out << " " << MemName(instr.mem);
+      break;
+    case Opcode::kPush:
+      out << " " << RegName(instr.rs1);
+      break;
+    case Opcode::kPop:
+      out << " " << RegName(instr.rd);
+      break;
+    case Opcode::kSyscall:
+      out << " " << ToString(static_cast<Syscall>(instr.imm));
+      break;
+    case Opcode::kABegin:
+      out << " ar=" << instr.ar_id << ", " << MemName(instr.mem) << ", " << instr.size
+          << "B, watch=" << ToString(instr.watch) << ", first=" << ToString(instr.local_first);
+      break;
+    case Opcode::kAEnd:
+      out << " ar=" << instr.ar_id << ", second=" << ToString(instr.local_second);
+      break;
+    default:
+      break;
+  }
+  return out.str();
+}
+
+std::string DisassembleProgram(const Program& program) {
+  std::ostringstream out;
+  const FunctionInfo* current = nullptr;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const ProgramCounter pc = program.PcOf(i);
+    const FunctionInfo* function = program.FunctionAt(pc);
+    if (function != nullptr && function != current) {
+      out << function->name << ":\n";
+      current = function;
+    }
+    char pc_buf[32];
+    std::snprintf(pc_buf, sizeof(pc_buf), "  %06" PRIx64 ":  ", pc);
+    out << pc_buf << Disassemble(program.At(i)) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace kivati

@@ -1,0 +1,19 @@
+// Textual disassembly of simulated programs, for debugging and examples.
+#ifndef KIVATI_ISA_DISASM_H_
+#define KIVATI_ISA_DISASM_H_
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace kivati {
+
+// One-line rendering of a single instruction, e.g. "ld r3, [r1+16] (4B)".
+std::string Disassemble(const Instruction& instr);
+
+// Full listing with PCs and function headers.
+std::string DisassembleProgram(const Program& program);
+
+}  // namespace kivati
+
+#endif  // KIVATI_ISA_DISASM_H_

@@ -1,0 +1,161 @@
+#include "isa/instruction.h"
+
+namespace kivati {
+
+unsigned EncodedLength(const Instruction& instr) {
+  switch (instr.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kRet:
+    case Opcode::kAClear:
+      return 1;
+    case Opcode::kPush:
+    case Opcode::kPop:
+    case Opcode::kSyscall:
+    case Opcode::kRepMovs:
+      return 2;
+    case Opcode::kMov:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDiv:
+    case Opcode::kMod:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+      return 3;
+    case Opcode::kXchg:
+      return 4;
+    case Opcode::kLoadImm:
+      // Short form for 32-bit immediates, long form otherwise (movabs).
+      return (instr.imm >= INT32_MIN && instr.imm <= INT32_MAX) ? 5 : 10;
+    case Opcode::kAddI:
+      return 5;
+    case Opcode::kJmp:
+    case Opcode::kBnz:
+    case Opcode::kBz:
+    case Opcode::kCall:
+      return 5;
+    case Opcode::kLoad:
+    case Opcode::kStore:
+    case Opcode::kPushM:
+    case Opcode::kCallInd:
+      // Register-indirect with a short offset encodes shorter.
+      return (instr.mem.offset >= -128 && instr.mem.offset <= 127) ? 4 : 7;
+    case Opcode::kMovM:
+      return 8;
+    case Opcode::kABegin:
+      return 12;
+    case Opcode::kAEnd:
+      return 6;
+  }
+  return 1;
+}
+
+bool ReadsMemory(Opcode op) {
+  switch (op) {
+    case Opcode::kRepMovs:
+    case Opcode::kLoad:
+    case Opcode::kMovM:
+    case Opcode::kXchg:
+    case Opcode::kPushM:
+    case Opcode::kCallInd:
+    case Opcode::kPop:
+    case Opcode::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool WritesMemory(Opcode op) {
+  switch (op) {
+    case Opcode::kRepMovs:
+    case Opcode::kStore:
+    case Opcode::kMovM:
+    case Opcode::kXchg:
+    case Opcode::kPush:
+    case Opcode::kPushM:
+    case Opcode::kCall:
+    case Opcode::kCallInd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::int64_t StackDelta(Opcode op) {
+  switch (op) {
+    case Opcode::kPush:
+    case Opcode::kPushM:
+    case Opcode::kCall:
+    case Opcode::kCallInd:
+      return -8;
+    case Opcode::kPop:
+    case Opcode::kRet:
+      return 8;
+    default:
+      return 0;
+  }
+}
+
+const char* ToString(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kLoadImm: return "li";
+    case Opcode::kMov: return "mov";
+    case Opcode::kLoad: return "ld";
+    case Opcode::kStore: return "st";
+    case Opcode::kMovM: return "movm";
+    case Opcode::kXchg: return "xchg";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kMod: return "mod";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kAddI: return "addi";
+    case Opcode::kCmpEq: return "cmpeq";
+    case Opcode::kCmpNe: return "cmpne";
+    case Opcode::kCmpLt: return "cmplt";
+    case Opcode::kCmpLe: return "cmple";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kBnz: return "bnz";
+    case Opcode::kBz: return "bz";
+    case Opcode::kCall: return "call";
+    case Opcode::kCallInd: return "calli";
+    case Opcode::kRet: return "ret";
+    case Opcode::kPush: return "push";
+    case Opcode::kPushM: return "pushm";
+    case Opcode::kPop: return "pop";
+    case Opcode::kRepMovs: return "rep movs";
+    case Opcode::kSyscall: return "syscall";
+    case Opcode::kABegin: return "begin_atomic";
+    case Opcode::kAEnd: return "end_atomic";
+    case Opcode::kAClear: return "clear_ar";
+  }
+  return "?";
+}
+
+const char* ToString(Syscall call) {
+  switch (call) {
+    case Syscall::kExit: return "exit";
+    case Syscall::kSpawn: return "spawn";
+    case Syscall::kJoin: return "join";
+    case Syscall::kYield: return "yield";
+    case Syscall::kSleep: return "sleep";
+    case Syscall::kIo: return "io";
+    case Syscall::kMark: return "mark";
+    case Syscall::kNow: return "now";
+  }
+  return "?";
+}
+
+}  // namespace kivati

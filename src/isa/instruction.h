@@ -1,0 +1,136 @@
+// The simulated instruction set.
+//
+// The ISA is deliberately x86-flavoured where it matters to Kivati:
+//   * instructions are variable length, so the kernel cannot step the PC
+//     back by a fixed amount after a trap-after watchpoint fires — it needs
+//     the pre-computed rollback table (paper §3.3);
+//   * there are instructions whose memory read lands in another *memory*
+//     location (kMovM, kPushM) — the hard undo case;
+//   * kCallInd reads its target through memory, reproducing the paper's
+//     "subroutine call with indirect pointer argument" special case where
+//     the post-trap PC is a function entry, not the next instruction;
+//   * kPush/kPop/kCall/kRet have stack-pointer side effects that the undo
+//     engine must reverse.
+#ifndef KIVATI_ISA_INSTRUCTION_H_
+#define KIVATI_ISA_INSTRUCTION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace kivati {
+
+// General-purpose registers r0..r15 plus the stack pointer.
+using RegId = std::uint8_t;
+inline constexpr unsigned kNumGpRegs = 16;
+inline constexpr RegId kRegSp = 16;   // addressable as a mem-operand base
+inline constexpr RegId kNoReg = 0xff;
+
+enum class Opcode : std::uint8_t {
+  kNop,
+  kHalt,      // terminate the current thread
+  kLoadImm,   // rd = imm
+  kMov,       // rd = rs1
+  kLoad,      // rd = mem[ea] (sized, zero-extended)
+  kStore,     // mem[ea] = rs1 (sized)
+  kMovM,      // mem[ea] = mem[ea2] (sized) — memory-to-memory move
+  kXchg,      // atomically: rd = mem[ea]; mem[ea] = rs1 (test-and-set)
+  kAdd,       // rd = rs1 + rs2
+  kSub,
+  kMul,
+  kAnd,
+  kOr,
+  kXor,
+  kDiv,       // rd = rs1 / rs2 (0 if rs2 == 0, like a faulting guard)
+  kMod,       // rd = rs1 % rs2 (0 if rs2 == 0)
+  kAddI,      // rd = rs1 + imm
+  kCmpEq,     // rd = (rs1 == rs2)
+  kCmpNe,
+  kCmpLt,     // unsigned
+  kCmpLe,
+  kJmp,       // pc = target
+  kBnz,       // if rs1 != 0 then pc = target
+  kBz,        // if rs1 == 0 then pc = target
+  kCall,      // push return pc; pc = target
+  kCallInd,   // push return pc; pc = mem[ea] — indirect call through memory
+  kRet,       // pc = pop
+  kPush,      // sp -= 8; mem[sp] = rs1
+  kPushM,     // sp -= 8; mem[sp] = mem[ea] — memory read into memory (stack)
+  kPop,       // rd = mem[sp]; sp += 8
+  kRepMovs,   // block copy: rd words from [rs1] to [rs2]; models x86
+              // REP MOVS, whose watchpoint traps are only delivered after
+              // the whole repetition (paper §3.5) and so cannot be undone
+  kSyscall,   // kernel service; number in `imm`, args in r0..r2, result r0
+  kABegin,    // Kivati annotation: begin_atomic(ar_id, ea, size, watch, first)
+  kAEnd,      // Kivati annotation: end_atomic(ar_id, second)
+  kAClear,    // Kivati annotation: clear_ar() at subroutine exit
+};
+
+// Kernel services available to simulated programs.
+enum class Syscall : std::uint16_t {
+  kExit = 0,    // terminate thread; r0 = status
+  kSpawn = 1,   // r0 = entry pc, r1 = argument -> returns new tid in r0
+  kJoin = 2,    // r0 = tid to wait for
+  kYield = 3,   // give up the core
+  kSleep = 4,   // r0 = cycles to sleep
+  kIo = 5,      // r0 = cycles of simulated I/O latency (blocks like sleep)
+  kMark = 6,    // emit trace event: tag = r0, value = r1
+  kNow = 7,     // r0 = current virtual time
+};
+
+// A memory operand: effective address = (base register value or 0) + offset.
+struct MemOperand {
+  RegId base = kNoReg;
+  std::int64_t offset = 0;
+
+  static MemOperand Absolute(Addr addr) {
+    return MemOperand{kNoReg, static_cast<std::int64_t>(addr)};
+  }
+  static MemOperand Indirect(RegId base, std::int64_t offset = 0) {
+    return MemOperand{base, offset};
+  }
+};
+
+// One decoded instruction. A single fat struct keeps the simulator simple;
+// unused fields are ignored per opcode.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  RegId rd = kNoReg;
+  RegId rs1 = kNoReg;
+  RegId rs2 = kNoReg;
+  std::int64_t imm = 0;       // immediates; syscall number for kSyscall
+  MemOperand mem;             // primary memory operand (destination for kMovM)
+  MemOperand mem2;            // source operand for kMovM
+  unsigned size = 8;          // memory access width in bytes: 1, 2, 4 or 8
+  std::int64_t target = -1;   // branch/call target pc (patched by the builder)
+
+  // Kivati annotation payload (kABegin / kAEnd).
+  ArId ar_id = kInvalidAr;
+  WatchType watch = WatchType::kNone;        // remote access type to watch for
+  AccessType local_first = AccessType::kRead;   // first local access type
+  AccessType local_second = AccessType::kRead;  // second local access type
+};
+
+// Returns the encoded byte length of `instr`. Lengths are x86-plausible and,
+// crucially, *not* uniform, which is what forces the rollback table.
+unsigned EncodedLength(const Instruction& instr);
+
+// Classification used by the annotator's binary pre-processing pass and by
+// the trap handler: does this instruction read and/or write data memory
+// (stack traffic from push/pop/call/ret counts — watchpoints see it too)?
+bool ReadsMemory(Opcode op);
+bool WritesMemory(Opcode op);
+inline bool AccessesMemory(Opcode op) { return ReadsMemory(op) || WritesMemory(op); }
+
+// True if executing the instruction changes the stack pointer, and by how
+// much (positive = sp increases). Used by the undo engine.
+std::int64_t StackDelta(Opcode op);
+
+const char* ToString(Opcode op);
+const char* ToString(Syscall call);
+
+}  // namespace kivati
+
+#endif  // KIVATI_ISA_INSTRUCTION_H_

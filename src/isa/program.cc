@@ -1,0 +1,132 @@
+#include "isa/program.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace kivati {
+
+std::optional<std::size_t> Program::IndexOfPc(ProgramCounter pc) const {
+  auto it = by_pc_.find(pc);
+  if (it == by_pc_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const FunctionInfo* Program::FindFunction(const std::string& name) const {
+  for (const auto& f : functions_) {
+    if (f.name == name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+const FunctionInfo* Program::FunctionAt(ProgramCounter pc) const {
+  for (const auto& f : functions_) {
+    if (f.first_index >= f.end_index) {
+      continue;
+    }
+    const ProgramCounter begin = pcs_[f.first_index];
+    const ProgramCounter end = f.end_index < pcs_.size() ? pcs_[f.end_index] : text_end_;
+    if (pc >= begin && pc < end) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+ProgramBuilder::ProgramBuilder() = default;
+
+ProgramBuilder::Label ProgramBuilder::NewLabel() {
+  label_to_index_.push_back(-1);
+  return static_cast<Label>(label_to_index_.size() - 1);
+}
+
+void ProgramBuilder::Bind(Label label) {
+  assert(label >= 0 && static_cast<std::size_t>(label) < label_to_index_.size());
+  assert(label_to_index_[label] == -1 && "label bound twice");
+  label_to_index_[label] = static_cast<std::int64_t>(instrs_.size());
+}
+
+void ProgramBuilder::BeginFunction(const std::string& name) {
+  assert(open_function_ == -1 && "nested BeginFunction");
+  Bind(FunctionEntry(name));
+  functions_.push_back(FunctionInfo{name, 0, instrs_.size(), instrs_.size()});
+  open_function_ = static_cast<std::int64_t>(functions_.size() - 1);
+}
+
+void ProgramBuilder::EndFunction() {
+  assert(open_function_ >= 0 && "EndFunction without BeginFunction");
+  functions_[open_function_].end_index = instrs_.size();
+  open_function_ = -1;
+}
+
+ProgramBuilder::Label ProgramBuilder::FunctionEntry(const std::string& name) {
+  auto it = function_labels_.find(name);
+  if (it != function_labels_.end()) {
+    return it->second;
+  }
+  const Label label = NewLabel();
+  function_labels_.emplace(name, label);
+  return label;
+}
+
+std::size_t ProgramBuilder::Emit(Instruction instr) {
+  instrs_.push_back(instr);
+  return instrs_.size() - 1;
+}
+
+std::size_t ProgramBuilder::EmitBranch(Instruction instr, Label label) {
+  const std::size_t index = Emit(instr);
+  pending_.push_back(Pending{index, label, /*into_imm=*/false});
+  return index;
+}
+
+void ProgramBuilder::LoadFunctionAddress(RegId rd, const std::string& function) {
+  // The placeholder immediate must have the same encoded length as the final
+  // PC; PCs always fit in 32 bits, so a zero placeholder is length-stable.
+  const std::size_t index = Emit({.op = Opcode::kLoadImm, .rd = rd, .imm = 0});
+  pending_.push_back(Pending{index, FunctionEntry(function), /*into_imm=*/true});
+}
+
+Program ProgramBuilder::Build() {
+  assert(!built_ && "Build called twice");
+  assert(open_function_ == -1 && "unterminated function");
+  built_ = true;
+
+  Program program;
+  program.instrs_ = std::move(instrs_);
+  program.pcs_.resize(program.instrs_.size());
+  ProgramCounter pc = 0;
+  for (std::size_t i = 0; i < program.instrs_.size(); ++i) {
+    program.pcs_[i] = pc;
+    program.by_pc_.emplace(pc, i);
+    pc += EncodedLength(program.instrs_[i]);
+  }
+  program.text_end_ = pc;
+
+  for (const auto& pending : pending_) {
+    const std::int64_t index = label_to_index_[pending.label];
+    if (index < 0) {
+      throw std::runtime_error("ProgramBuilder: unbound label referenced");
+    }
+    if (static_cast<std::size_t>(index) >= program.instrs_.size()) {
+      throw std::runtime_error("ProgramBuilder: label bound past end of program");
+    }
+    const auto pc = static_cast<std::int64_t>(program.pcs_[static_cast<std::size_t>(index)]);
+    if (pending.into_imm) {
+      program.instrs_[pending.instr_index].imm = pc;
+    } else {
+      program.instrs_[pending.instr_index].target = pc;
+    }
+  }
+
+  program.functions_ = std::move(functions_);
+  for (auto& f : program.functions_) {
+    f.entry = program.pcs_[f.first_index];
+  }
+  return program;
+}
+
+}  // namespace kivati

@@ -1,0 +1,32 @@
+#include "isa/rollback_table.h"
+
+namespace kivati {
+
+RollbackTable::RollbackTable(const Program& program) {
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    const Instruction& instr = program.At(i);
+    if (!AccessesMemory(instr.op)) {
+      continue;
+    }
+    const ProgramCounter pc = program.PcOf(i);
+    const ProgramCounter next = pc + EncodedLength(instr);
+    next_to_prev_.emplace(next, pc);
+  }
+  for (const auto& f : program.functions()) {
+    function_entries_.insert(f.entry);
+  }
+}
+
+std::optional<ProgramCounter> RollbackTable::PrevAccessingPc(ProgramCounter next_pc) const {
+  auto it = next_to_prev_.find(next_pc);
+  if (it == next_to_prev_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool RollbackTable::IsFunctionEntry(ProgramCounter pc) const {
+  return function_entries_.contains(pc);
+}
+
+}  // namespace kivati

@@ -1,0 +1,52 @@
+// The paper's binary pre-processing pass (§3.3).
+//
+// x86 watchpoints trap *after* the accessing instruction retires, and x86
+// instructions are variable length, so the kernel cannot recover the faulting
+// instruction's PC by subtracting a constant. Kivati pre-scans the binary and
+// records, for every instruction that accesses memory, the PC of the
+// instruction that immediately follows it. At trap time, the table maps the
+// post-trap PC back to the accessing instruction.
+//
+// The one exception is a call instruction whose operand is an indirect
+// memory pointer: after the call the PC is the callee's first instruction,
+// not the successor of the call. The table therefore also records every
+// function entry PC; the trap handler detects this case and recovers the
+// call site from the return address on the stack.
+#ifndef KIVATI_ISA_ROLLBACK_TABLE_H_
+#define KIVATI_ISA_ROLLBACK_TABLE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "isa/program.h"
+
+namespace kivati {
+
+class RollbackTable {
+ public:
+  // Scans `program` and records all memory-accessing instructions.
+  explicit RollbackTable(const Program& program);
+
+  // Maps the PC following a memory-accessing instruction back to that
+  // instruction's PC. Returns nullopt if `next_pc` does not follow any
+  // memory-accessing instruction (which means the trap PC needs the
+  // function-entry special case, or the trap is spurious).
+  std::optional<ProgramCounter> PrevAccessingPc(ProgramCounter next_pc) const;
+
+  // True if `pc` is the first instruction of some subroutine — i.e. control
+  // arrived via a call, and the call site must be recovered from the return
+  // address on the stack.
+  bool IsFunctionEntry(ProgramCounter pc) const;
+
+  // Number of memory-accessing instructions recorded (for tests/stats).
+  std::size_t entries() const { return next_to_prev_.size(); }
+
+ private:
+  std::unordered_map<ProgramCounter, ProgramCounter> next_to_prev_;
+  std::unordered_set<ProgramCounter> function_entries_;
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_ISA_ROLLBACK_TABLE_H_

@@ -1,0 +1,132 @@
+// Abstract syntax tree for the mini-C frontend.
+//
+// The language is the C subset the Kivati annotator needs to exercise its
+// analyses: 64-bit integers, pointers, fixed-size arrays, global variables
+// (optionally marked `sync` for synchronization variables), functions,
+// if/while/for control flow, address-of/dereference, and thread spawning.
+// Built-in functions are ordinary calls with reserved names, resolved during
+// lowering: lock(v), unlock(v), sleep(n), io(n), yield(), mark(tag, value),
+// now(), exit(n).
+#ifndef KIVATI_LANG_AST_H_
+#define KIVATI_LANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace kivati {
+
+enum class BinOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kAnd,
+  kOr,
+  kXor,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* ToString(BinOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kIntLit,  // int_value
+    kVar,     // name
+    kBinary,  // op, lhs, rhs
+    kIndex,   // name (array), rhs = index expression
+    kCall,    // name (callee), args
+    kAddrOf,  // name (variable whose address is taken)
+    kDeref,   // lhs = pointer expression
+  };
+
+  Kind kind = Kind::kIntLit;
+  std::int64_t int_value = 0;
+  std::string name;
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  std::vector<ExprPtr> args;
+  int line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kDecl,      // decl_*: local variable declaration
+    kAssign,    // target = value
+    kIf,        // cond, body, else_body
+    kWhile,     // cond, body
+    kFor,       // for_init, cond, for_step, body
+    kExprStmt,  // value (a call evaluated for effect)
+    kReturn,    // value (may be null)
+    kSpawn,     // value = call expression to run in a new thread
+    kBreak,     // exit the innermost loop
+    kContinue,  // jump to the innermost loop's next iteration
+  };
+
+  Kind kind = Kind::kDecl;
+
+  // kDecl.
+  std::string decl_name;
+  bool decl_is_pointer = false;
+  std::int64_t decl_array_size = 0;  // 0 means scalar
+  ExprPtr decl_init;                 // may be null
+
+  // kAssign: target is kVar, kIndex or kDeref.
+  ExprPtr target;
+  // kAssign value / kExprStmt call / kReturn value / kSpawn call.
+  ExprPtr value;
+
+  // Control flow.
+  ExprPtr cond;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+  StmtPtr for_init;
+  StmtPtr for_step;
+
+  int line = 0;
+};
+
+struct Param {
+  std::string name;
+  bool is_pointer = false;
+};
+
+struct Function {
+  std::string name;
+  bool returns_value = false;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct GlobalVar {
+  std::string name;
+  bool is_pointer = false;
+  bool is_sync = false;              // declared with the `sync` qualifier
+  std::int64_t array_size = 0;       // 0 means scalar
+  std::int64_t init_value = 0;
+  int line = 0;
+};
+
+struct TranslationUnit {
+  std::vector<GlobalVar> globals;
+  std::vector<Function> functions;
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_LANG_AST_H_

@@ -1,0 +1,247 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace kivati {
+
+ParseError::ParseError(const std::string& message, int line, int column)
+    : std::runtime_error(message + " (line " + std::to_string(line) + ", column " +
+                         std::to_string(column) + ")"),
+      line_(line),
+      column_(column) {}
+
+const char* ToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "<eof>";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kKwInt: return "'int'";
+    case TokenKind::kKwVoid: return "'void'";
+    case TokenKind::kKwSync: return "'sync'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwSpawn: return "'spawn'";
+    case TokenKind::kKwBreak: return "'break'";
+    case TokenKind::kKwContinue: return "'continue'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const auto* kMap = new std::unordered_map<std::string, TokenKind>{
+      {"int", TokenKind::kKwInt},       {"void", TokenKind::kKwVoid},
+      {"sync", TokenKind::kKwSync},     {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},     {"while", TokenKind::kKwWhile},
+      {"for", TokenKind::kKwFor},       {"return", TokenKind::kKwReturn},
+      {"spawn", TokenKind::kKwSpawn},   {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue},
+  };
+  return *kMap;
+}
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(const std::string& source) : source_(source) {}
+
+  std::vector<Token> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token token = Next();
+      const bool eof = token.kind == TokenKind::kEof;
+      tokens.push_back(std::move(token));
+      if (eof) {
+        break;
+      }
+    }
+    return tokens;
+  }
+
+ private:
+  char Peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+
+  char Advance() {
+    const char c = Peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (true) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (Peek() != '\n' && Peek() != '\0') {
+          Advance();
+        }
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!(Peek() == '*' && Peek(1) == '/')) {
+          if (Peek() == '\0') {
+            throw ParseError("unterminated block comment", line_, column_);
+          }
+          Advance();
+        }
+        Advance();
+        Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token Make(TokenKind kind, std::string text) {
+    Token token;
+    token.kind = kind;
+    token.text = std::move(text);
+    token.line = line_;
+    token.column = column_;
+    return token;
+  }
+
+  Token Next() {
+    const char c = Peek();
+    if (c == '\0') {
+      return Make(TokenKind::kEof, "");
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      return Identifier();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      return Number();
+    }
+    return Operator();
+  }
+
+  Token Identifier() {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) != 0 || Peek() == '_') {
+      text.push_back(Advance());
+    }
+    const auto it = Keywords().find(text);
+    if (it != Keywords().end()) {
+      return Make(it->second, std::move(text));
+    }
+    return Make(TokenKind::kIdentifier, std::move(text));
+  }
+
+  Token Number() {
+    std::string text;
+    int base = 10;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      text.push_back(Advance());
+      text.push_back(Advance());
+      base = 16;
+      while (std::isxdigit(static_cast<unsigned char>(Peek())) != 0) {
+        text.push_back(Advance());
+      }
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        text.push_back(Advance());
+      }
+    }
+    Token token = Make(TokenKind::kIntLiteral, text);
+    token.int_value = std::stoll(text, nullptr, base);
+    return token;
+  }
+
+  Token Operator() {
+    const int line = line_;
+    const int column = column_;
+    const char c = Advance();
+    auto two = [&](char second, TokenKind with, TokenKind without) {
+      if (Peek() == second) {
+        Advance();
+        return with;
+      }
+      return without;
+    };
+    TokenKind kind;
+    switch (c) {
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '{': kind = TokenKind::kLBrace; break;
+      case '}': kind = TokenKind::kRBrace; break;
+      case '[': kind = TokenKind::kLBracket; break;
+      case ']': kind = TokenKind::kRBracket; break;
+      case ';': kind = TokenKind::kSemicolon; break;
+      case ',': kind = TokenKind::kComma; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '%': kind = TokenKind::kPercent; break;
+      case '&': kind = TokenKind::kAmp; break;
+      case '|': kind = TokenKind::kPipe; break;
+      case '^': kind = TokenKind::kCaret; break;
+      case '=': kind = two('=', TokenKind::kEq, TokenKind::kAssign); break;
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          kind = TokenKind::kNe;
+        } else {
+          throw ParseError("unexpected character '!'", line, column);
+        }
+        break;
+      case '<': kind = two('=', TokenKind::kLe, TokenKind::kLt); break;
+      case '>': kind = two('=', TokenKind::kGe, TokenKind::kGt); break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'", line, column);
+    }
+    Token token;
+    token.kind = kind;
+    token.line = line;
+    token.column = column;
+    return token;
+  }
+
+  const std::string& source_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) { return LexerImpl(source).Run(); }
+
+}  // namespace kivati

@@ -1,0 +1,33 @@
+// Hand-written lexer for the mini-C frontend.
+//
+// Supports // line comments and /* block comments */, decimal and hex
+// integer literals, and the token set in token.h. Errors throw
+// ParseError with line/column info.
+#ifndef KIVATI_LANG_LEXER_H_
+#define KIVATI_LANG_LEXER_H_
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace kivati {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column);
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+// Tokenizes `source` fully; the result ends with a kEof token.
+std::vector<Token> Lex(const std::string& source);
+
+}  // namespace kivati
+
+#endif  // KIVATI_LANG_LEXER_H_

@@ -1,0 +1,17 @@
+// Recursive-descent parser for the mini-C frontend.
+#ifndef KIVATI_LANG_PARSER_H_
+#define KIVATI_LANG_PARSER_H_
+
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/lexer.h"
+
+namespace kivati {
+
+// Parses a full translation unit. Throws ParseError on malformed input.
+TranslationUnit Parse(const std::string& source);
+
+}  // namespace kivati
+
+#endif  // KIVATI_LANG_PARSER_H_

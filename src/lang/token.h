@@ -1,0 +1,64 @@
+// Token definitions for the mini-C frontend.
+#ifndef KIVATI_LANG_TOKEN_H_
+#define KIVATI_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kivati {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  // Keywords.
+  kKwInt,
+  kKwVoid,
+  kKwSync,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kKwSpawn,
+  kKwBreak,
+  kKwContinue,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kSemicolon,
+  kComma,
+  kAssign,      // =
+  kPlus,
+  kMinus,
+  kStar,        // multiplication and dereference
+  kSlash,       // division
+  kPercent,     // remainder
+  kAmp,         // bitwise-and and address-of
+  kPipe,
+  kCaret,
+  kEq,          // ==
+  kNe,          // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  std::int64_t int_value = 0;
+  int line = 0;
+  int column = 0;
+};
+
+const char* ToString(TokenKind kind);
+
+}  // namespace kivati
+
+#endif  // KIVATI_LANG_TOKEN_H_

@@ -1,0 +1,63 @@
+#include "mem/address_space.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace kivati {
+
+AddressSpace::AddressSpace() = default;
+
+std::uint8_t* AddressSpace::ChunkFor(Addr addr) {
+  const Addr index = addr >> kChunkBits;
+  if (index >= chunks_.size()) {
+    chunks_.resize(index + 1);
+  }
+  auto& chunk = chunks_[index];
+  if (chunk.empty()) {
+    chunk.assign(kChunkSize, 0);
+  }
+  return chunk.data();
+}
+
+const std::uint8_t* AddressSpace::ChunkForRead(Addr addr) const {
+  const Addr index = addr >> kChunkBits;
+  if (index >= chunks_.size()) {
+    chunks_.resize(index + 1);
+  }
+  auto& chunk = chunks_[index];
+  if (chunk.empty()) {
+    chunk.assign(kChunkSize, 0);
+  }
+  return chunk.data();
+}
+
+std::uint64_t AddressSpace::Read(Addr addr, unsigned size) const {
+  assert(size == 1 || size == 2 || size == 4 || size == 8);
+  std::uint64_t value = 0;
+  // Accesses may straddle a chunk boundary; go byte-by-byte, which is cheap
+  // at the simulator's scale and always correct.
+  for (unsigned i = 0; i < size; ++i) {
+    const Addr a = addr + i;
+    const std::uint8_t byte = ChunkForRead(a)[a & (kChunkSize - 1)];
+    value |= static_cast<std::uint64_t>(byte) << (8 * i);
+  }
+  return value;
+}
+
+void AddressSpace::Write(Addr addr, unsigned size, std::uint64_t value) {
+  assert(size == 1 || size == 2 || size == 4 || size == 8);
+  for (unsigned i = 0; i < size; ++i) {
+    const Addr a = addr + i;
+    ChunkFor(a)[a & (kChunkSize - 1)] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+Addr AddressSpace::AllocateData(Addr bytes, Addr align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  data_break_ = (data_break_ + align - 1) & ~(align - 1);
+  const Addr base = data_break_;
+  data_break_ += bytes;
+  return base;
+}
+
+}  // namespace kivati

@@ -1,0 +1,69 @@
+// Simulated flat byte-addressed memory.
+//
+// All simulated threads of one machine share a single AddressSpace (the
+// workloads are threads of one process, as in the paper). The space is
+// segmented by convention:
+//
+//   [kDataBase, ...)    globals and heap allocations (bump-allocated)
+//   [kStackBase, ...)   per-thread stacks, fixed size, growing down
+//   [kSharedPageBase,)  the page shared between the user-space Kivati
+//                       library and the kernel component (optimization 3)
+//
+// Accesses are little-endian and support the watchpoint-relevant widths
+// 1, 2, 4 and 8 bytes.
+#ifndef KIVATI_MEM_ADDRESS_SPACE_H_
+#define KIVATI_MEM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kivati {
+
+inline constexpr Addr kDataBase = 0x10000;
+inline constexpr Addr kStackBase = 0x4000000;
+inline constexpr Addr kStackSize = 0x10000;  // 64 KiB per simulated thread
+inline constexpr Addr kSharedPageBase = 0x8000000;
+inline constexpr Addr kSharedPageSize = 0x1000;
+
+class AddressSpace {
+ public:
+  AddressSpace();
+
+  // Reads `size` bytes (1, 2, 4 or 8) at `addr`, zero-extended to 64 bits.
+  std::uint64_t Read(Addr addr, unsigned size) const;
+
+  // Writes the low `size` bytes of `value` at `addr`.
+  void Write(Addr addr, unsigned size, std::uint64_t value);
+
+  // Bump-allocates `bytes` in the data segment, aligned to `align` (a power
+  // of two). Returns the base address of the allocation.
+  Addr AllocateData(Addr bytes, Addr align = 8);
+
+  // Returns the initial stack pointer (one past the top) for thread `tid`.
+  static Addr StackTop(ThreadId tid) { return kStackBase + (tid + 1) * kStackSize; }
+
+  // True if [addr, addr+size) lies inside thread tid's stack region.
+  static bool InStack(ThreadId tid, Addr addr) {
+    return addr >= kStackBase + tid * kStackSize && addr < StackTop(tid);
+  }
+
+  // Current top of the data bump allocator (useful for bounds in tests).
+  Addr data_break() const { return data_break_; }
+
+ private:
+  // Sparse backing store: fixed-size chunks materialized on first touch.
+  static constexpr Addr kChunkBits = 16;
+  static constexpr Addr kChunkSize = Addr{1} << kChunkBits;
+
+  std::uint8_t* ChunkFor(Addr addr);
+  const std::uint8_t* ChunkForRead(Addr addr) const;
+
+  mutable std::vector<std::vector<std::uint8_t>> chunks_;
+  Addr data_break_ = kDataBase;
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_MEM_ADDRESS_SPACE_H_

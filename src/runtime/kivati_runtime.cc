@@ -1,0 +1,121 @@
+#include "runtime/kivati_runtime.h"
+
+namespace kivati {
+
+KivatiRuntime::KivatiRuntime(Machine& machine, KivatiConfig config)
+    : machine_(machine),
+      config_(std::move(config)),
+      whitelist_(config_.whitelist),
+      kernel_(machine, config_) {
+  if (!config_.whitelist_path.empty()) {
+    whitelist_.LoadFromFile(config_.whitelist_path);
+    reread_interval_ = machine_.costs().FromMs(config_.whitelist_reread_ms);
+    next_reread_ = machine_.now() + reread_interval_;
+  }
+  machine_.set_hooks(this);
+}
+
+void KivatiRuntime::MaybeRereadWhitelist() {
+  // The paper re-reads the whitelist file periodically so developers can
+  // push updated whitelists to long-running customer processes (§3.2).
+  if (reread_interval_ == 0 || machine_.now() < next_reread_) {
+    return;
+  }
+  next_reread_ = machine_.now() + reread_interval_;
+  whitelist_.LoadFromFile(config_.whitelist_path);
+}
+
+void KivatiRuntime::Account(PathTaken path, std::uint64_t& crossing_counter,
+                            std::uint64_t& fast_counter) {
+  const CostModel& costs = machine_.costs();
+  if (config_.opt_fast_path && path != PathTaken::kKernel) {
+    machine_.ChargeExtra(costs.fast_path);
+    ++fast_counter;
+    return;
+  }
+  // Without the fast path every annotation is a system call; with it, the
+  // user-space check precedes the crossing.
+  if (config_.opt_fast_path) {
+    machine_.ChargeExtra(costs.fast_path);
+  }
+  machine_.ChargeExtra(costs.kernel_crossing);
+  ++crossing_counter;
+}
+
+void KivatiRuntime::OnBeginAtomic(ThreadId thread, const Instruction& instr, Addr ea) {
+  ++stats().begin_atomic_calls;
+  if (whitelist_.Contains(instr.ar_id)) {
+    // Whitelist hits return from user space before any metadata work, in
+    // every configuration (paper §3.2).
+    ++stats().ars_whitelisted;
+    machine_.ChargeExtra(machine_.costs().fast_path);
+    return;
+  }
+  if (config_.null_syscall) {
+    // Table 3's "Null syscall" diagnostic: enter the kernel, do nothing.
+    machine_.ChargeExtra(machine_.costs().kernel_crossing);
+    ++stats().kernel_entries_begin;
+    return;
+  }
+  const PathTaken path = kernel_.BeginAtomic(thread, instr, ea, config_.opt_fast_path);
+  Account(path, stats().kernel_entries_begin, stats().fast_path_begin);
+}
+
+void KivatiRuntime::OnEndAtomic(ThreadId thread, const Instruction& instr) {
+  ++stats().end_atomic_calls;
+  if (whitelist_.Contains(instr.ar_id)) {
+    ++stats().ars_whitelisted;
+    machine_.ChargeExtra(machine_.costs().fast_path);
+    return;
+  }
+  if (config_.null_syscall) {
+    machine_.ChargeExtra(machine_.costs().kernel_crossing);
+    ++stats().kernel_entries_end;
+    return;
+  }
+  const PathTaken path = kernel_.EndAtomic(thread, instr);
+  Account(path, stats().kernel_entries_end, stats().fast_path_end);
+}
+
+void KivatiRuntime::OnClearAr(ThreadId thread, std::uint32_t call_depth) {
+  ++stats().clear_ar_calls;
+  if (config_.null_syscall) {
+    machine_.ChargeExtra(machine_.costs().kernel_crossing);
+    ++stats().kernel_entries_end;
+    return;
+  }
+  const PathTaken path = kernel_.ClearAr(thread, call_depth);
+  Account(path, stats().kernel_entries_end, stats().fast_path_end);
+}
+
+bool KivatiRuntime::OnWatchpointTrap(ThreadId thread, CoreId core, unsigned slot,
+                                     const MemAccess& access, ProgramCounter trap_pc) {
+  ++stats().watchpoint_traps;
+  ++stats().kernel_entries_trap;
+  const CostModel& costs = machine_.costs();
+  machine_.ChargeExtra(costs.kernel_crossing + costs.watchpoint_trap);
+  return kernel_.HandleTrap(thread, core, slot, access, trap_pc);
+}
+
+void KivatiRuntime::OnKernelEntry(CoreId core) {
+  MaybeRereadWhitelist();
+  if (config_.null_syscall) {
+    return;
+  }
+  kernel_.SyncCore(core);
+}
+
+void KivatiRuntime::OnContextSwitch(CoreId core, ThreadId prev, ThreadId next) {
+  if (config_.null_syscall) {
+    return;
+  }
+  kernel_.HandleContextSwitch(core, prev, next);
+}
+
+void KivatiRuntime::OnSuspensionTimeout(ThreadId thread) {
+  kernel_.HandleSuspensionTimeout(thread);
+}
+
+void KivatiRuntime::OnThreadExit(ThreadId thread) { kernel_.HandleThreadExit(thread); }
+
+}  // namespace kivati

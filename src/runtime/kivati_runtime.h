@@ -1,0 +1,58 @@
+// The user-space Kivati library (paper §3.4).
+//
+// Implements the machine hooks. Each annotation first consults the whitelist
+// and the replicated metadata in user space; only operations that genuinely
+// need the kernel (hardware register changes, thread suspension) pay the
+// crossing cost. This layer owns all cost accounting and statistics; the
+// KivatiKernel it wraps owns the mechanism.
+#ifndef KIVATI_RUNTIME_KIVATI_RUNTIME_H_
+#define KIVATI_RUNTIME_KIVATI_RUNTIME_H_
+
+#include "kernel/kivati_kernel.h"
+#include "runtime/whitelist.h"
+#include "sched/hooks.h"
+#include "sched/machine.h"
+
+namespace kivati {
+
+class KivatiRuntime : public KivatiHooks {
+ public:
+  // Constructs the runtime and installs it as the machine's hooks.
+  KivatiRuntime(Machine& machine, KivatiConfig config);
+
+  KivatiKernel& kernel() { return kernel_; }
+  const KivatiConfig& config() const { return config_; }
+
+  Whitelist& whitelist() { return whitelist_; }
+  const Whitelist& whitelist() const { return whitelist_; }
+
+  // --- KivatiHooks ----------------------------------------------------------
+  void OnBeginAtomic(ThreadId thread, const Instruction& instr, Addr ea) override;
+  void OnEndAtomic(ThreadId thread, const Instruction& instr) override;
+  void OnClearAr(ThreadId thread, std::uint32_t call_depth) override;
+  bool OnWatchpointTrap(ThreadId thread, CoreId core, unsigned slot, const MemAccess& access,
+                        ProgramCounter trap_pc) override;
+  void OnKernelEntry(CoreId core) override;
+  void OnContextSwitch(CoreId core, ThreadId prev, ThreadId next) override;
+  void OnSuspensionTimeout(ThreadId thread) override;
+  void OnThreadExit(ThreadId thread) override;
+
+ private:
+  RuntimeStats& stats() { return machine_.trace().stats(); }
+  // Re-reads the configured whitelist file when its refresh period elapses.
+  void MaybeRereadWhitelist();
+  // Charges for an annotation that took `path`, and counts the crossing.
+  void Account(PathTaken path, std::uint64_t& crossing_counter, std::uint64_t& fast_counter);
+
+  Machine& machine_;
+  KivatiConfig config_;
+  Whitelist whitelist_;
+  KivatiKernel kernel_;
+  // Periodic whitelist-file refresh (paper §3.2).
+  Cycles reread_interval_ = 0;
+  Cycles next_reread_ = 0;
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_RUNTIME_KIVATI_RUNTIME_H_

@@ -1,0 +1,71 @@
+#include "runtime/whitelist.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace kivati {
+
+void Whitelist::Merge(const Whitelist& other) {
+  ids_.insert(other.ids_.begin(), other.ids_.end());
+}
+
+bool Whitelist::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Merge(Parse(buffer.str()));
+  return true;
+}
+
+bool Whitelist::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << Serialize();
+  return static_cast<bool>(out);
+}
+
+Whitelist Whitelist::Parse(const std::string& text) {
+  Whitelist result;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    // Trim whitespace.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      continue;
+    }
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string token = line.substr(begin, end - begin + 1);
+    try {
+      result.ids_.insert(static_cast<ArId>(std::stoul(token)));
+    } catch (...) {
+      // Malformed lines are skipped; the paper's runtime must tolerate
+      // partially written files during periodic re-reads.
+    }
+  }
+  return result;
+}
+
+std::string Whitelist::Serialize() const {
+  std::vector<ArId> sorted(ids_.begin(), ids_.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream out;
+  out << "# Kivati AR whitelist: one atomic-region id per line\n";
+  for (const ArId ar : sorted) {
+    out << ar << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace kivati

@@ -1,0 +1,48 @@
+// The AR whitelist (paper §3.2, §3.4).
+//
+// ARs whose violations are known to be benign or required are listed here;
+// their begin/end_atomic annotations return from user space without entering
+// the kernel. The paper populates it from two sources: manually identified
+// synchronization variables (optimization 4) and training runs (§4.2). The
+// file format is one AR id per line; '#' starts a comment.
+#ifndef KIVATI_RUNTIME_WHITELIST_H_
+#define KIVATI_RUNTIME_WHITELIST_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "common/types.h"
+
+namespace kivati {
+
+class Whitelist {
+ public:
+  Whitelist() = default;
+  explicit Whitelist(std::unordered_set<ArId> ids) : ids_(std::move(ids)) {}
+
+  bool Contains(ArId ar) const { return ids_.contains(ar); }
+  void Add(ArId ar) { ids_.insert(ar); }
+  void Remove(ArId ar) { ids_.erase(ar); }
+  std::size_t size() const { return ids_.size(); }
+  const std::unordered_set<ArId>& ids() const { return ids_; }
+
+  // Merges every id from `other`.
+  void Merge(const Whitelist& other);
+
+  // Loads/saves the on-disk format. Load merges into the current set (the
+  // paper re-reads the file periodically to pick up developer updates).
+  // Returns false on I/O failure.
+  bool LoadFromFile(const std::string& path);
+  bool SaveToFile(const std::string& path) const;
+
+  // Parses the text format (for tests and in-memory use).
+  static Whitelist Parse(const std::string& text);
+  std::string Serialize() const;
+
+ private:
+  std::unordered_set<ArId> ids_;
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_RUNTIME_WHITELIST_H_

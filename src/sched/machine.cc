@@ -1,0 +1,647 @@
+#include "sched/machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace kivati {
+
+const char* ToString(ThreadState state) {
+  switch (state) {
+    case ThreadState::kRunnable: return "runnable";
+    case ThreadState::kSleeping: return "sleeping";
+    case ThreadState::kSuspended: return "suspended";
+    case ThreadState::kBlockedSync: return "blocked-sync";
+    case ThreadState::kJoining: return "joining";
+    case ThreadState::kDone: return "done";
+  }
+  return "?";
+}
+
+Machine::Machine(Program program, MachineConfig config)
+    : program_(std::move(program)),
+      rollback_(program_),
+      config_(config),
+      rng_(config.seed) {
+  cores_.reserve(config_.num_cores);
+  for (unsigned i = 0; i < config_.num_cores; ++i) {
+    cores_.emplace_back(config_.watchpoints_per_core);
+  }
+}
+
+ThreadId Machine::SpawnThread(ProgramCounter entry, std::uint64_t arg) {
+  const ThreadId tid = static_cast<ThreadId>(threads_.size());
+  auto t = std::make_unique<ThreadContext>();
+  t->tid = tid;
+  t->pc = entry;
+  t->sp = AddressSpace::StackTop(tid);
+  t->sp -= 8;
+  memory_.Write(t->sp, 8, kThreadExitPc);
+  t->regs[0] = arg;
+  threads_.push_back(std::move(t));
+  queued_.push_back(false);
+  MakeRunnable(tid);
+  return tid;
+}
+
+ThreadId Machine::SpawnThreadByName(const std::string& function, std::uint64_t arg) {
+  const FunctionInfo* info = program_.FindFunction(function);
+  assert(info != nullptr && "SpawnThreadByName: unknown function");
+  return SpawnThread(info->entry, arg);
+}
+
+std::size_t Machine::live_threads() const {
+  std::size_t live = 0;
+  for (const auto& t : threads_) {
+    if (t->state != ThreadState::kDone) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void Machine::SuspendThread(ThreadId tid, std::optional<Cycles> timeout_at) {
+  ThreadContext& t = thread(tid);
+  t.state = ThreadState::kSuspended;
+  t.has_deadline = timeout_at.has_value();
+  if (timeout_at.has_value()) {
+    t.wake_at = *timeout_at;
+  }
+}
+
+void Machine::ResumeThread(ThreadId tid) {
+  ThreadContext& t = thread(tid);
+  if (t.state == ThreadState::kSuspended || t.state == ThreadState::kBlockedSync) {
+    MakeRunnable(tid);
+  }
+}
+
+void Machine::BlockThreadForSync(ThreadId tid) {
+  thread(tid).state = ThreadState::kBlockedSync;
+  thread(tid).has_deadline = false;
+}
+
+void Machine::UnblockSyncThread(ThreadId tid) {
+  if (thread(tid).state == ThreadState::kBlockedSync) {
+    MakeRunnable(tid);
+  }
+}
+
+void Machine::SleepThread(ThreadId tid, Cycles duration) {
+  ThreadContext& t = thread(tid);
+  t.state = ThreadState::kSleeping;
+  t.wake_at = now_ + duration;
+  t.has_deadline = true;
+}
+
+void Machine::CancelSleep(ThreadId tid) {
+  if (thread(tid).state == ThreadState::kSleeping) {
+    MakeRunnable(tid);
+  }
+}
+
+void Machine::MakeRunnable(ThreadId tid) {
+  ThreadContext& t = thread(tid);
+  t.state = ThreadState::kRunnable;
+  t.has_deadline = false;
+  if (!queued_[tid] && !t.on_core) {
+    queued_[tid] = true;
+    ready_.push_back(tid);
+  }
+}
+
+ThreadId Machine::PopRunnable() {
+  while (!ready_.empty()) {
+    if (config_.policy == SchedPolicy::kRandom && ready_.size() > 1) {
+      const std::size_t pick = rng_.NextBelow(ready_.size());
+      std::swap(ready_.front(), ready_[pick]);
+    }
+    const ThreadId tid = ready_.front();
+    ready_.pop_front();
+    queued_[tid] = false;
+    ThreadContext& t = thread(tid);
+    if (t.state == ThreadState::kRunnable && !t.on_core) {
+      return tid;
+    }
+  }
+  return kInvalidThread;
+}
+
+void Machine::WakeExpiredTimers() {
+  for (auto& tp : threads_) {
+    ThreadContext& t = *tp;
+    if (t.state == ThreadState::kSleeping && t.wake_at <= now_) {
+      MakeRunnable(t.tid);
+    } else if (t.state == ThreadState::kSuspended && t.has_deadline && t.wake_at <= now_) {
+      if (hooks_ != nullptr) {
+        hooks_->OnSuspensionTimeout(t.tid);
+      }
+      MakeRunnable(t.tid);
+    }
+  }
+}
+
+Cycles Machine::EarliestDeadline() const {
+  Cycles earliest = ~Cycles{0};
+  for (const auto& tp : threads_) {
+    const ThreadContext& t = *tp;
+    const bool timed = t.state == ThreadState::kSleeping ||
+                       (t.state == ThreadState::kSuspended && t.has_deadline);
+    if (timed) {
+      earliest = std::min(earliest, t.wake_at);
+    }
+  }
+  return earliest;
+}
+
+bool Machine::AnyDeadline() const { return EarliestDeadline() != ~Cycles{0}; }
+
+void Machine::Reschedule(CoreId core, bool timer_interrupt) {
+  Core& c = cores_[core];
+  const ThreadId prev = c.current;
+  if (timer_interrupt) {
+    c.clock += config_.costs.context_switch;
+    if (hooks_ != nullptr) {
+      hooks_->OnKernelEntry(core);
+    }
+  }
+  if (prev != kInvalidThread) {
+    ThreadContext& p = thread(prev);
+    p.on_core = false;
+    c.current = kInvalidThread;
+    if (p.state == ThreadState::kRunnable) {
+      MakeRunnable(prev);
+    }
+  }
+  const ThreadId next = PopRunnable();
+  if (next == kInvalidThread) {
+    return;
+  }
+  c.current = next;
+  thread(next).on_core = true;
+  c.quantum_left = config_.quantum;
+  if (next != prev) {
+    if (!timer_interrupt) {
+      c.clock += config_.costs.context_switch;
+    }
+    if (hooks_ != nullptr) {
+      hooks_->OnContextSwitch(core, prev, next);
+    }
+  }
+}
+
+RunResult Machine::Run(Cycles max_cycles) {
+  RunResult result;
+  while (true) {
+    if (live_threads() == 0) {
+      result.all_done = true;
+      break;
+    }
+    // Pick the core with the smallest clock (ties by core id).
+    CoreId core = 0;
+    for (CoreId i = 1; i < cores_.size(); ++i) {
+      if (cores_[i].clock < cores_[core].clock) {
+        core = i;
+      }
+    }
+    Core& c = cores_[core];
+    if (c.clock >= max_cycles) {
+      result.hit_limit = true;
+      break;
+    }
+    now_ = c.clock;
+    WakeExpiredTimers();
+
+    const bool need_resched = c.current == kInvalidThread ||
+                              thread(c.current).state != ThreadState::kRunnable ||
+                              c.quantum_left == 0;
+    if (need_resched) {
+      const bool timer = c.current != kInvalidThread &&
+                         thread(c.current).state == ThreadState::kRunnable &&
+                         c.quantum_left == 0;
+      Reschedule(core, timer);
+    }
+    if (c.current == kInvalidThread) {
+      // An idle core sits in the kernel idle loop, so it is trivially
+      // "in the kernel": give the hooks their opportunistic sync point
+      // (without this, threads blocked on cross-core watchpoint sync could
+      // wait on a core that never re-enters the kernel). The sync may make
+      // a thread runnable; pick it up immediately.
+      if (hooks_ != nullptr) {
+        executing_core_ = core;
+        hooks_->OnKernelEntry(core);
+        Reschedule(core, /*timer_interrupt=*/false);
+        if (c.current != kInvalidThread) {
+          continue;
+        }
+      }
+      // Idle: jump to the next time anything can happen on this core —
+      // a timer wake, or another core's progress releasing a thread.
+      Cycles next_time = EarliestDeadline();
+      bool any_other_busy = false;
+      for (CoreId i = 0; i < cores_.size(); ++i) {
+        if (i != core && cores_[i].current != kInvalidThread) {
+          any_other_busy = true;
+          next_time = std::min(next_time, std::max(cores_[i].clock, c.clock + 1));
+        }
+      }
+      if (next_time == ~Cycles{0}) {
+        if (!any_other_busy && ready_.empty()) {
+          result.deadlocked = true;
+          break;
+        }
+        next_time = c.clock + 1;
+      }
+      c.clock = std::max(c.clock + 1, next_time);
+      continue;
+    }
+    ExecuteOne(core);
+  }
+  Cycles end = 0;
+  for (const auto& c : cores_) {
+    end = std::max(end, c.clock);
+  }
+  result.cycles = end;
+  result.instructions = instructions_executed_;
+  if (result.deadlocked) {
+    KIVATI_LOG(kWarning) << "machine deadlocked at cycle " << result.cycles << " with "
+                         << live_threads() << " live threads";
+  }
+  return result;
+}
+
+void Machine::CollectAccesses(const ThreadContext& t, const Instruction& instr,
+                              std::vector<MemAccess>& out) const {
+  out.clear();
+  // old_value is captured for every access after the switch below.
+  switch (instr.op) {
+    case Opcode::kLoad:
+      out.push_back({EffectiveAddress(t, instr.mem), instr.size, AccessType::kRead});
+      break;
+    case Opcode::kStore:
+      out.push_back({EffectiveAddress(t, instr.mem), instr.size, AccessType::kWrite});
+      break;
+    case Opcode::kMovM:
+      out.push_back({EffectiveAddress(t, instr.mem2), instr.size, AccessType::kRead});
+      out.push_back({EffectiveAddress(t, instr.mem), instr.size, AccessType::kWrite});
+      break;
+    case Opcode::kXchg: {
+      const Addr ea = EffectiveAddress(t, instr.mem);
+      out.push_back({ea, instr.size, AccessType::kRead});
+      out.push_back({ea, instr.size, AccessType::kWrite});
+      break;
+    }
+    case Opcode::kPush:
+      out.push_back({t.sp - 8, 8, AccessType::kWrite});
+      break;
+    case Opcode::kPushM:
+      out.push_back({EffectiveAddress(t, instr.mem), instr.size, AccessType::kRead});
+      out.push_back({t.sp - 8, 8, AccessType::kWrite});
+      break;
+    case Opcode::kPop:
+      out.push_back({t.sp, 8, AccessType::kRead});
+      break;
+    case Opcode::kCall:
+      out.push_back({t.sp - 8, 8, AccessType::kWrite});
+      break;
+    case Opcode::kCallInd:
+      out.push_back({EffectiveAddress(t, instr.mem), 8, AccessType::kRead});
+      out.push_back({t.sp - 8, 8, AccessType::kWrite});
+      break;
+    case Opcode::kRet:
+      out.push_back({t.sp, 8, AccessType::kRead});
+      break;
+    case Opcode::kRepMovs: {
+      // Every word of the repetition is an access; as on pre-Pentium-4
+      // hardware, the trap for any of them is only delivered after the
+      // whole instruction (paper §3.5), which is what trap-after delivery
+      // of the instruction's access list models.
+      const std::uint64_t count = ReadReg(t, instr.rd);
+      const Addr src = ReadReg(t, instr.rs1);
+      const Addr dst = ReadReg(t, instr.rs2);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        out.push_back({src + 8 * i, 8, AccessType::kRead});
+        out.push_back({dst + 8 * i, 8, AccessType::kWrite});
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (MemAccess& access : out) {
+    access.old_value = memory_.Read(access.addr, access.size);
+  }
+}
+
+void Machine::ApplySemantics(CoreId core, ThreadContext& t, const Instruction& instr,
+                             unsigned length) {
+  const ProgramCounter next_pc = t.pc + length;
+  switch (instr.op) {
+    case Opcode::kNop:
+      t.pc = next_pc;
+      break;
+    case Opcode::kHalt:
+      ExitThread(t.tid, 0);
+      break;
+    case Opcode::kLoadImm:
+      WriteReg(t, instr.rd, static_cast<std::uint64_t>(instr.imm));
+      t.pc = next_pc;
+      break;
+    case Opcode::kMov:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1));
+      t.pc = next_pc;
+      break;
+    case Opcode::kLoad:
+      WriteReg(t, instr.rd, memory_.Read(EffectiveAddress(t, instr.mem), instr.size));
+      t.pc = next_pc;
+      break;
+    case Opcode::kStore:
+      memory_.Write(EffectiveAddress(t, instr.mem), instr.size, ReadReg(t, instr.rs1));
+      t.pc = next_pc;
+      break;
+    case Opcode::kMovM: {
+      const std::uint64_t value = memory_.Read(EffectiveAddress(t, instr.mem2), instr.size);
+      memory_.Write(EffectiveAddress(t, instr.mem), instr.size, value);
+      t.pc = next_pc;
+      break;
+    }
+    case Opcode::kXchg: {
+      const Addr ea = EffectiveAddress(t, instr.mem);
+      const std::uint64_t old = memory_.Read(ea, instr.size);
+      memory_.Write(ea, instr.size, ReadReg(t, instr.rs1));
+      WriteReg(t, instr.rd, old);
+      t.pc = next_pc;
+      break;
+    }
+    case Opcode::kAdd:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) + ReadReg(t, instr.rs2));
+      t.pc = next_pc;
+      break;
+    case Opcode::kSub:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) - ReadReg(t, instr.rs2));
+      t.pc = next_pc;
+      break;
+    case Opcode::kMul:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) * ReadReg(t, instr.rs2));
+      t.pc = next_pc;
+      break;
+    case Opcode::kDiv: {
+      const std::uint64_t divisor = ReadReg(t, instr.rs2);
+      WriteReg(t, instr.rd, divisor == 0 ? 0 : ReadReg(t, instr.rs1) / divisor);
+      t.pc = next_pc;
+      break;
+    }
+    case Opcode::kMod: {
+      const std::uint64_t divisor = ReadReg(t, instr.rs2);
+      WriteReg(t, instr.rd, divisor == 0 ? 0 : ReadReg(t, instr.rs1) % divisor);
+      t.pc = next_pc;
+      break;
+    }
+    case Opcode::kAnd:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) & ReadReg(t, instr.rs2));
+      t.pc = next_pc;
+      break;
+    case Opcode::kOr:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) | ReadReg(t, instr.rs2));
+      t.pc = next_pc;
+      break;
+    case Opcode::kXor:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) ^ ReadReg(t, instr.rs2));
+      t.pc = next_pc;
+      break;
+    case Opcode::kAddI:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) + static_cast<std::uint64_t>(instr.imm));
+      t.pc = next_pc;
+      break;
+    case Opcode::kCmpEq:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) == ReadReg(t, instr.rs2) ? 1 : 0);
+      t.pc = next_pc;
+      break;
+    case Opcode::kCmpNe:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) != ReadReg(t, instr.rs2) ? 1 : 0);
+      t.pc = next_pc;
+      break;
+    case Opcode::kCmpLt:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) < ReadReg(t, instr.rs2) ? 1 : 0);
+      t.pc = next_pc;
+      break;
+    case Opcode::kCmpLe:
+      WriteReg(t, instr.rd, ReadReg(t, instr.rs1) <= ReadReg(t, instr.rs2) ? 1 : 0);
+      t.pc = next_pc;
+      break;
+    case Opcode::kJmp:
+      t.pc = static_cast<ProgramCounter>(instr.target);
+      break;
+    case Opcode::kBnz:
+      t.pc = ReadReg(t, instr.rs1) != 0 ? static_cast<ProgramCounter>(instr.target) : next_pc;
+      break;
+    case Opcode::kBz:
+      t.pc = ReadReg(t, instr.rs1) == 0 ? static_cast<ProgramCounter>(instr.target) : next_pc;
+      break;
+    case Opcode::kCall:
+      t.sp -= 8;
+      memory_.Write(t.sp, 8, next_pc);
+      t.pc = static_cast<ProgramCounter>(instr.target);
+      ++t.call_depth;
+      break;
+    case Opcode::kCallInd: {
+      const ProgramCounter target = memory_.Read(EffectiveAddress(t, instr.mem), 8);
+      t.sp -= 8;
+      memory_.Write(t.sp, 8, next_pc);
+      t.pc = target;
+      ++t.call_depth;
+      break;
+    }
+    case Opcode::kRet:
+      t.pc = memory_.Read(t.sp, 8);
+      t.sp += 8;
+      if (t.call_depth > 0) {
+        --t.call_depth;
+      }
+      break;
+    case Opcode::kPush:
+      t.sp -= 8;
+      memory_.Write(t.sp, 8, ReadReg(t, instr.rs1));
+      t.pc = next_pc;
+      break;
+    case Opcode::kPushM: {
+      const std::uint64_t value = memory_.Read(EffectiveAddress(t, instr.mem), instr.size);
+      t.sp -= 8;
+      memory_.Write(t.sp, 8, value);
+      t.pc = next_pc;
+      break;
+    }
+    case Opcode::kPop:
+      WriteReg(t, instr.rd, memory_.Read(t.sp, 8));
+      t.sp += 8;
+      t.pc = next_pc;
+      break;
+    case Opcode::kRepMovs: {
+      const std::uint64_t count = ReadReg(t, instr.rd);
+      const Addr src = ReadReg(t, instr.rs1);
+      const Addr dst = ReadReg(t, instr.rs2);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        memory_.Write(dst + 8 * i, 8, memory_.Read(src + 8 * i, 8));
+      }
+      t.pc = next_pc;
+      break;
+    }
+    case Opcode::kSyscall:
+      t.pc = next_pc;
+      DoSyscall(core, t, instr);
+      break;
+    case Opcode::kABegin:
+      t.pc = next_pc;
+      if (hooks_ != nullptr) {
+        hooks_->OnBeginAtomic(t.tid, instr, EffectiveAddress(t, instr.mem));
+      }
+      break;
+    case Opcode::kAEnd:
+      t.pc = next_pc;
+      if (hooks_ != nullptr) {
+        hooks_->OnEndAtomic(t.tid, instr);
+      }
+      break;
+    case Opcode::kAClear:
+      t.pc = next_pc;
+      if (hooks_ != nullptr) {
+        hooks_->OnClearAr(t.tid, t.call_depth);
+      }
+      break;
+  }
+}
+
+void Machine::DoSyscall(CoreId core, ThreadContext& t, const Instruction& instr) {
+  ChargeExtra(config_.costs.kernel_crossing);
+  if (hooks_ != nullptr) {
+    hooks_->OnKernelEntry(core);
+  }
+  switch (static_cast<Syscall>(instr.imm)) {
+    case Syscall::kExit:
+      ExitThread(t.tid, t.regs[0]);
+      break;
+    case Syscall::kSpawn: {
+      const ThreadId child = SpawnThread(t.regs[0], t.regs[1]);
+      t.regs[0] = child;
+      break;
+    }
+    case Syscall::kJoin: {
+      const ThreadId target = static_cast<ThreadId>(t.regs[0]);
+      if (target < threads_.size() && thread(target).state != ThreadState::kDone) {
+        t.state = ThreadState::kJoining;
+        t.join_target = target;
+      }
+      break;
+    }
+    case Syscall::kYield:
+      // Force a reschedule at the top of the loop.
+      cores_[core].quantum_left = 0;
+      break;
+    case Syscall::kSleep:
+    case Syscall::kIo:
+      t.state = ThreadState::kSleeping;
+      t.wake_at = now_ + t.regs[0];
+      t.has_deadline = true;
+      break;
+    case Syscall::kMark:
+      trace_.AddMark(MarkEvent{now_, t.tid, static_cast<std::int64_t>(t.regs[0]), t.regs[1]});
+      break;
+    case Syscall::kNow:
+      t.regs[0] = now_;
+      break;
+  }
+}
+
+void Machine::ExitThread(ThreadId tid, std::uint64_t status) {
+  ThreadContext& t = thread(tid);
+  t.state = ThreadState::kDone;
+  t.exit_status = status;
+  if (hooks_ != nullptr) {
+    hooks_->OnThreadExit(tid);
+  }
+  for (auto& other : threads_) {
+    if (other->state == ThreadState::kJoining && other->join_target == tid) {
+      MakeRunnable(other->tid);
+    }
+  }
+}
+
+void Machine::ExecuteOne(CoreId core) {
+  Core& c = cores_[core];
+  ThreadContext& t = thread(c.current);
+  executing_core_ = core;
+  now_ = c.clock;
+
+  if (t.pc == kThreadExitPc) {
+    ExitThread(t.tid, t.regs[0]);
+    return;
+  }
+  const auto index = program_.IndexOfPc(t.pc);
+  if (!index.has_value()) {
+    KIVATI_LOG(kError) << "thread " << t.tid << " jumped to invalid pc 0x" << std::hex << t.pc;
+    ExitThread(t.tid, ~std::uint64_t{0});
+    return;
+  }
+  const Instruction& instr = program_.At(*index);
+  const unsigned length = EncodedLength(instr);
+  current_instruction_pc_ = t.pc;
+  pending_extra_ = 0;
+  Cycles cost = config_.costs.user_instruction;
+
+  CollectAccesses(t, instr, access_scratch_);
+
+  bool cancelled = false;
+  if (config_.trap_delivery == TrapDelivery::kBefore && hooks_ != nullptr) {
+    for (const MemAccess& access : access_scratch_) {
+      const auto slot = c.debug_regs.Match(access.addr, access.size, access.type);
+      if (slot.has_value()) {
+        if (hooks_->OnWatchpointTrap(t.tid, core, *slot, access, t.pc)) {
+          cancelled = true;
+          break;
+        }
+      }
+    }
+  }
+
+  if (!cancelled) {
+    if (config_.trace_addr != kInvalidAddr) {
+      for (const MemAccess& access : access_scratch_) {
+        if (access.type == AccessType::kWrite && access.addr <= config_.trace_addr &&
+            config_.trace_addr < access.addr + access.size) {
+          // Log after semantics below; remember that a traced write happens.
+          traced_write_pending_ = true;
+        }
+      }
+    }
+    ApplySemantics(core, t, instr, length);
+    if (traced_write_pending_) {
+      traced_write_pending_ = false;
+      KIVATI_LOG(kDebug) << "write: t" << t.tid << " pc=0x" << std::hex
+                         << current_instruction_pc_ << " " << ToString(instr.op) << " [0x"
+                         << config_.trace_addr << "] = " << std::dec
+                         << memory_.Read(config_.trace_addr, 8) << " at " << now_;
+    }
+    ++t.instructions;
+    ++instructions_executed_;
+    if (config_.trap_delivery == TrapDelivery::kAfter && hooks_ != nullptr) {
+      for (const MemAccess& access : access_scratch_) {
+        const auto slot = c.debug_regs.Match(access.addr, access.size, access.type);
+        if (slot.has_value()) {
+          // Trap-after: the access has committed; t.pc already points at the
+          // architecturally next instruction (or the callee for calls).
+          hooks_->OnWatchpointTrap(t.tid, core, *slot, access, t.pc);
+          break;  // one trap delivered per instruction, as DR6 handling does
+        }
+      }
+    }
+  }
+
+  cost += pending_extra_;
+  pending_extra_ = 0;
+  c.clock += cost;
+  t.cpu_cycles += cost;
+  c.quantum_left -= std::min(cost, c.quantum_left);
+}
+
+}  // namespace kivati

@@ -1,0 +1,204 @@
+// The simulated multicore machine.
+//
+// A Machine executes one Program over a shared AddressSpace on `num_cores`
+// simulated cores, each with its own bank of hardware watchpoint registers.
+// Scheduling is discrete-event: each core has its own clock; the core with
+// the smallest clock executes the next instruction of its current thread and
+// advances by that instruction's cost. Preemption happens on quantum expiry
+// (modelled as a timer interrupt — a kernel entry) and whenever a thread
+// blocks. All scheduling randomness comes from a seeded RNG, so runs are
+// fully reproducible.
+//
+// The machine knows nothing about atomicity violations: it raises the
+// KivatiHooks callbacks at the architectural events (annotations, watchpoint
+// matches, kernel entries, context switches) and exposes the control surface
+// (suspend/resume/pc rollback/extra cycle charges) that the Kivati kernel
+// component needs. With no hooks installed it behaves as the paper's vanilla
+// system.
+#ifndef KIVATI_SCHED_MACHINE_H_
+#define KIVATI_SCHED_MACHINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "hw/debug_registers.h"
+#include "isa/program.h"
+#include "isa/rollback_table.h"
+#include "mem/address_space.h"
+#include "sched/cost_model.h"
+#include "sched/hooks.h"
+#include "sched/thread.h"
+#include "trace/trace.h"
+
+namespace kivati {
+
+// PC value that a thread returns to when its entry function returns.
+inline constexpr ProgramCounter kThreadExitPc = 0xDEAD0000;
+
+enum class SchedPolicy : std::uint8_t {
+  kRoundRobin,  // FIFO ready queue
+  kRandom,      // uniformly random runnable thread (seeded)
+};
+
+struct MachineConfig {
+  unsigned num_cores = 2;                       // the paper's Core 2 Duo
+  unsigned watchpoints_per_core = kDefaultWatchpointCount;
+  TrapDelivery trap_delivery = TrapDelivery::kAfter;
+  SchedPolicy policy = SchedPolicy::kRandom;
+  Cycles quantum = 4000;
+  std::uint64_t seed = 1;
+  CostModel costs;
+  // Debug aid: every committed write overlapping this address is logged at
+  // debug level with thread, PC and value.
+  Addr trace_addr = kInvalidAddr;
+};
+
+struct RunResult {
+  Cycles cycles = 0;               // virtual time when the run ended
+  std::uint64_t instructions = 0;  // total instructions executed
+  bool all_done = false;           // every thread reached kDone
+  bool deadlocked = false;         // nothing runnable and no pending wake
+  bool hit_limit = false;          // stopped at the cycle limit
+};
+
+class Machine {
+ public:
+  Machine(Program program, MachineConfig config);
+
+  // Installs the Kivati runtime (may be null for vanilla runs). Must be
+  // called before Run.
+  void set_hooks(KivatiHooks* hooks) { hooks_ = hooks; }
+
+  // --- Setup ---------------------------------------------------------------
+
+  // Creates a thread starting at `entry` with `arg` in r0. Threads may also
+  // be created by the running program via the spawn syscall.
+  ThreadId SpawnThread(ProgramCounter entry, std::uint64_t arg);
+  ThreadId SpawnThreadByName(const std::string& function, std::uint64_t arg);
+
+  // --- Execution -----------------------------------------------------------
+
+  // Runs until every thread is done, deadlock, or `max_cycles` of virtual
+  // time. May be called repeatedly to continue a stopped run.
+  RunResult Run(Cycles max_cycles = ~Cycles{0});
+
+  // --- State access (used by the Kivati kernel & runtime, and by tests) ----
+
+  AddressSpace& memory() { return memory_; }
+  const Program& program() const { return program_; }
+  const RollbackTable& rollback_table() const { return rollback_; }
+  Trace& trace() { return trace_; }
+  const CostModel& costs() const { return config_.costs; }
+  const MachineConfig& config() const { return config_; }
+
+  Cycles now() const { return now_; }
+  unsigned num_cores() const { return config_.num_cores; }
+  DebugRegisterFile& core_debug_regs(CoreId core) { return cores_[core].debug_regs; }
+
+  std::size_t num_threads() const { return threads_.size(); }
+  ThreadContext& thread(ThreadId tid) { return *threads_[tid]; }
+  const ThreadContext& thread(ThreadId tid) const { return *threads_[tid]; }
+
+  // The core / thread / instruction PC of the instruction currently being
+  // executed. Valid only inside hook callbacks.
+  CoreId executing_core() const { return executing_core_; }
+  ThreadId current_thread_on(CoreId core) const { return cores_[core].current; }
+  ProgramCounter current_instruction_pc() const { return current_instruction_pc_; }
+
+  // --- Control surface for Kivati -----------------------------------------
+
+  // Suspends `tid` until ResumeThread, or until `timeout_at` (absolute time)
+  // if given, in which case OnSuspensionTimeout fires before the wake.
+  void SuspendThread(ThreadId tid, std::optional<Cycles> timeout_at);
+  // Wakes a kSuspended or kBlockedSync thread.
+  void ResumeThread(ThreadId tid);
+  // Blocks `tid` until UnblockSyncThread (the cross-core register sync wait).
+  void BlockThreadForSync(ThreadId tid);
+  void UnblockSyncThread(ThreadId tid);
+  // Timed sleep (used for the bug-finding pause); auto-wakes.
+  void SleepThread(ThreadId tid, Cycles duration);
+  // Ends a timed sleep early (no-op unless the thread is sleeping).
+  void CancelSleep(ThreadId tid);
+  // Overwrites a thread's PC (undo engine rollback).
+  void SetThreadPc(ThreadId tid, ProgramCounter pc) { thread(tid).pc = pc; }
+
+  // Adds `cycles` to the cost of the instruction currently executing (how
+  // hooks charge kernel crossings, trap handling and fast-path work).
+  void ChargeExtra(Cycles cycles) { pending_extra_ += cycles; }
+
+  // Number of threads not yet done (for workload harnesses).
+  std::size_t live_threads() const;
+
+ private:
+  struct Core {
+    Cycles clock = 0;
+    Cycles quantum_left = 0;
+    ThreadId current = kInvalidThread;
+    DebugRegisterFile debug_regs;
+
+    explicit Core(unsigned watchpoints) : debug_regs(watchpoints) {}
+  };
+
+  // Ready-queue helpers. The queue may hold stale entries; Pop skips them.
+  void MakeRunnable(ThreadId tid);
+  ThreadId PopRunnable();
+
+  void WakeExpiredTimers();
+  Cycles EarliestDeadline() const;
+  bool AnyDeadline() const;
+
+  // Assigns a thread to `core`, firing context-switch hooks.
+  void Reschedule(CoreId core, bool timer_interrupt);
+
+  // Executes one instruction of core's current thread; advances the clock.
+  void ExecuteOne(CoreId core);
+
+  // Applies the semantics of `instr` for thread `t`. Returns the accesses
+  // performed (in program order) for watchpoint checking.
+  void CollectAccesses(const ThreadContext& t, const Instruction& instr,
+                       std::vector<MemAccess>& out) const;
+  void ApplySemantics(CoreId core, ThreadContext& t, const Instruction& instr,
+                      unsigned length);
+
+  void DoSyscall(CoreId core, ThreadContext& t, const Instruction& instr);
+  void ExitThread(ThreadId tid, std::uint64_t status);
+
+  Addr EffectiveAddress(const ThreadContext& t, const MemOperand& mem) const {
+    const std::uint64_t base = mem.base == kNoReg ? 0 : ReadReg(t, mem.base);
+    return base + static_cast<std::uint64_t>(mem.offset);
+  }
+
+  Program program_;
+  RollbackTable rollback_;
+  MachineConfig config_;
+  AddressSpace memory_;
+  Trace trace_;
+  Rng rng_;
+  KivatiHooks* hooks_ = nullptr;
+
+  std::vector<std::unique_ptr<ThreadContext>> threads_;
+  std::vector<bool> queued_;
+  std::deque<ThreadId> ready_;
+  std::vector<Core> cores_;
+
+  Cycles now_ = 0;
+  CoreId executing_core_ = 0;
+  ProgramCounter current_instruction_pc_ = 0;
+  Cycles pending_extra_ = 0;
+  std::uint64_t instructions_executed_ = 0;
+
+  bool traced_write_pending_ = false;
+
+  // Scratch reused across ExecuteOne calls.
+  std::vector<MemAccess> access_scratch_;
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_SCHED_MACHINE_H_

@@ -1,0 +1,66 @@
+// Simulated thread contexts.
+#ifndef KIVATI_SCHED_THREAD_H_
+#define KIVATI_SCHED_THREAD_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace kivati {
+
+enum class ThreadState : std::uint8_t {
+  kRunnable,      // ready to execute (possibly currently on a core)
+  kSleeping,      // timed wait (sleep/io/bug-finding pause); auto-wakes
+  kSuspended,     // suspended by Kivati; woken by ResumeThread or timeout
+  kBlockedSync,   // begin_atomic waiting for cross-core watchpoint sync
+  kJoining,       // waiting for another thread to exit
+  kDone,
+};
+
+const char* ToString(ThreadState state);
+
+struct ThreadContext {
+  ThreadId tid = kInvalidThread;
+  ThreadState state = ThreadState::kRunnable;
+
+  ProgramCounter pc = 0;
+  std::array<std::uint64_t, kNumGpRegs> regs{};
+  std::uint64_t sp = 0;
+
+  // Call nesting depth; clear_ar terminates ARs opened at the current depth.
+  std::uint32_t call_depth = 0;
+
+  // For kSleeping and for kSuspended-with-timeout: absolute wake time.
+  Cycles wake_at = 0;
+  bool has_deadline = false;
+
+  // For kJoining.
+  ThreadId join_target = kInvalidThread;
+
+  // Bookkeeping.
+  Cycles cpu_cycles = 0;      // cycles of CPU time consumed
+  std::uint64_t instructions = 0;
+  std::uint64_t exit_status = 0;
+
+  // Set while the thread is the current thread of some core.
+  bool on_core = false;
+};
+
+// Reads a general register or the stack pointer.
+inline std::uint64_t ReadReg(const ThreadContext& t, RegId reg) {
+  return reg == kRegSp ? t.sp : t.regs[reg];
+}
+
+inline void WriteReg(ThreadContext& t, RegId reg, std::uint64_t value) {
+  if (reg == kRegSp) {
+    t.sp = value;
+  } else {
+    t.regs[reg] = value;
+  }
+}
+
+}  // namespace kivati
+
+#endif  // KIVATI_SCHED_THREAD_H_

@@ -1,0 +1,114 @@
+#include "trace/report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace kivati {
+namespace {
+
+char TypeChar(AccessType type) { return type == AccessType::kRead ? 'R' : 'W'; }
+
+std::string PatternOf(const ViolationRecord& v) {
+  std::string pattern;
+  pattern += TypeChar(v.first);
+  pattern += '-';
+  pattern += TypeChar(v.remote);
+  pattern += '-';
+  pattern += TypeChar(v.second);
+  return pattern;
+}
+
+}  // namespace
+
+std::string FormatViolationReport(const Trace& trace, const ArSymbolizer& symbolizer) {
+  if (trace.violations().empty()) {
+    return "no atomicity violations detected\n";
+  }
+
+  struct Group {
+    std::size_t count = 0;
+    std::size_t prevented = 0;
+    std::map<std::string, std::size_t> patterns;
+    const ViolationRecord* first = nullptr;
+  };
+  std::map<ArId, Group> groups;
+  for (const ViolationRecord& v : trace.violations()) {
+    Group& group = groups[v.ar_id];
+    ++group.count;
+    group.prevented += v.prevented ? 1 : 0;
+    ++group.patterns[PatternOf(v)];
+    if (group.first == nullptr || v.when < group.first->when) {
+      group.first = &v;
+    }
+  }
+
+  std::ostringstream out;
+  out << trace.violations().size() << " violation(s) on " << groups.size()
+      << " atomic region(s):\n";
+  for (const auto& [ar, group] : groups) {
+    out << "  AR " << ar;
+    if (symbolizer) {
+      const std::string name = symbolizer(ar);
+      if (!name.empty()) {
+        out << " (" << name << ")";
+      }
+    }
+    out << ": " << group.count << " violation(s), " << group.prevented << " prevented\n";
+    out << "    patterns:";
+    for (const auto& [pattern, count] : group.patterns) {
+      out << " " << pattern << " x" << count;
+    }
+    out << "\n";
+    const ViolationRecord& first = *group.first;
+    out << "    first at cycle " << first.when << ": local t" << first.local_thread
+        << " (pc 0x" << std::hex << first.first_pc << "..0x" << first.second_pc
+        << ") vs remote t" << std::dec << first.remote_thread << " (pc 0x" << std::hex
+        << first.remote_pc << std::dec << ")\n";
+  }
+  return out.str();
+}
+
+std::string FormatStatsSummary(const RuntimeStats& stats, double virtual_seconds) {
+  std::ostringstream out;
+  auto rate = [&](std::uint64_t n) -> std::string {
+    if (virtual_seconds <= 0.0) {
+      return "";
+    }
+    std::ostringstream r;
+    r.precision(1);
+    r << std::fixed << " (" << static_cast<double>(n) / virtual_seconds << "/s)";
+    return r.str();
+  };
+  out << "annotations: " << stats.begin_atomic_calls << " begin, " << stats.end_atomic_calls
+      << " end, " << stats.clear_ar_calls << " clear_ar\n";
+  out << "kernel crossings: " << stats.kernel_entries_total() << rate(stats.kernel_entries_total())
+      << " — begin " << stats.kernel_entries_begin << ", end+clear " << stats.kernel_entries_end
+      << ", traps " << stats.kernel_entries_trap << "\n";
+  out << "fast-path hits: " << stats.fast_path_begin << " begin, " << stats.fast_path_end
+      << " end; whitelist hits: " << stats.ars_whitelisted << "\n";
+  out << "atomic regions: " << stats.ars_entered << " entered, " << stats.ars_missed
+      << " missed (no free watchpoint)";
+  if (stats.ars_entered > 0) {
+    out.precision(2);
+    out << std::fixed << " = "
+        << 100.0 * static_cast<double>(stats.ars_missed) /
+               static_cast<double>(stats.ars_entered)
+        << "%";
+  }
+  out << "\n";
+  out << "watchpoint traps: " << stats.watchpoint_traps << rate(stats.watchpoint_traps)
+      << "; remote suspensions: " << stats.remote_suspensions << "; timeouts: "
+      << stats.suspension_timeouts << "; unreorderable: " << stats.unreorderable_accesses
+      << "\n";
+  out << "violations: " << stats.violations_detected << " detected, "
+      << stats.violations_prevented << " prevented";
+  if (stats.bugfinding_pauses > 0) {
+    out << "; bug-finding pauses: " << stats.bugfinding_pauses;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace kivati

@@ -1,0 +1,32 @@
+// Human-readable run reports: violations grouped by atomic region with
+// per-region statistics, plus a runtime-counter summary. The optional
+// ArSymbolizer lets callers who have compiler debug info (variable and
+// function names) enrich the output without this module depending on the
+// analysis layer.
+#ifndef KIVATI_TRACE_REPORT_H_
+#define KIVATI_TRACE_REPORT_H_
+
+#include <functional>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace kivati {
+
+// Returns a short description of an AR ("shared_counter in worker()"), or
+// an empty string if unknown.
+using ArSymbolizer = std::function<std::string(ArId)>;
+
+// Per-AR grouped violation report:
+//
+//   AR 3 (shared_counter in worker()): 12 violation(s), 11 prevented
+//     patterns: R-W-W x10, W-R-W x2
+//     first at cycle 10233: local t0 vs remote t1
+std::string FormatViolationReport(const Trace& trace, const ArSymbolizer& symbolizer = {});
+
+// Counter summary, rates normalized by `virtual_seconds` when nonzero.
+std::string FormatStatsSummary(const RuntimeStats& stats, double virtual_seconds = 0.0);
+
+}  // namespace kivati
+
+#endif  // KIVATI_TRACE_REPORT_H_

@@ -1,0 +1,45 @@
+#include "trace/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace kivati {
+
+std::string ToString(const ViolationRecord& record) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "AR %u @0x%" PRIx64 ": local t%u (%s@0x%" PRIx64 " .. %s@0x%" PRIx64
+                ") interleaved by remote t%u %s@0x%" PRIx64 " at %" PRIu64 " [%s]",
+                record.ar_id, record.addr, record.local_thread, ToString(record.first),
+                record.first_pc, ToString(record.second), record.second_pc, record.remote_thread,
+                ToString(record.remote), record.remote_pc, record.when,
+                record.prevented ? "prevented" : "NOT prevented");
+  return buf;
+}
+
+std::size_t Trace::UniqueViolatingArs() const {
+  std::unordered_set<ArId> unique;
+  for (const auto& v : violations_) {
+    unique.insert(v.ar_id);
+  }
+  return unique.size();
+}
+
+std::size_t Trace::UniqueViolatingArsExcluding(
+    const std::unordered_set<ArId>& known_buggy) const {
+  std::unordered_set<ArId> unique;
+  for (const auto& v : violations_) {
+    if (!known_buggy.contains(v.ar_id)) {
+      unique.insert(v.ar_id);
+    }
+  }
+  return unique.size();
+}
+
+void Trace::Clear() {
+  violations_.clear();
+  marks_.clear();
+  stats_ = RuntimeStats{};
+}
+
+}  // namespace kivati

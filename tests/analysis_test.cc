@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "analysis/atomic_regions.h"
+#include "analysis/lsv.h"
+#include "analysis/mir.h"
+#include "analysis/mir_builder.h"
+#include "lang/parser.h"
+
+namespace kivati {
+namespace {
+
+MirModule Build(const std::string& source) { return BuildMir(Parse(source)); }
+
+const MirFunction& Fn(const MirModule& m, const std::string& name) {
+  const MirFunction* f = m.FindFunction(name);
+  EXPECT_NE(f, nullptr) << name;
+  return *f;
+}
+
+// Convenience: annotations of one function by name.
+const FunctionAnnotations& AnnotationsFor(const MirModule& m, const ModuleAnnotations& ann,
+                                          const std::string& name) {
+  for (std::size_t i = 0; i < m.functions.size(); ++i) {
+    if (m.functions[i].name == name) {
+      return ann.functions[i];
+    }
+  }
+  static const FunctionAnnotations kEmpty;
+  ADD_FAILURE() << "no function " << name;
+  return kEmpty;
+}
+
+TEST(MirBuilderTest, LowersSimpleAssignment) {
+  const MirModule m = Build("int g; void f() { g = g + 1; }");
+  const MirFunction& f = Fn(m, "f");
+  // load g; const 1; add; store g; ret
+  ASSERT_GE(f.ops.size(), 5u);
+  EXPECT_EQ(f.ops[0].kind, MirOp::Kind::kLoadGlobal);
+  EXPECT_EQ(f.ops.back().kind, MirOp::Kind::kRet);
+  bool has_store = false;
+  for (const auto& op : f.ops) {
+    has_store |= op.kind == MirOp::Kind::kStoreGlobal;
+  }
+  EXPECT_TRUE(has_store);
+}
+
+TEST(MirBuilderTest, AddressTakenLocalIsMemoryResident) {
+  const MirModule m = Build(R"(
+    void g(int *p) { }
+    void f() {
+      int x;
+      x = 1;
+      g(&x);
+      x = x + 1;
+    }
+  )");
+  const MirFunction& f = Fn(m, "f");
+  const int x = [&] {
+    for (std::size_t i = 0; i < f.locals.size(); ++i) {
+      if (f.locals[i].name == "x") {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }();
+  ASSERT_GE(x, 0);
+  EXPECT_TRUE(f.locals[static_cast<std::size_t>(x)].address_taken);
+  bool store_mem = false;
+  for (const auto& op : f.ops) {
+    store_mem |= op.kind == MirOp::Kind::kStoreLocalMem && op.local_mem == x;
+  }
+  EXPECT_TRUE(store_mem);
+}
+
+TEST(MirBuilderTest, BuiltinsLower) {
+  const MirModule m = Build(R"(
+    sync int l;
+    void f() {
+      lock(l);
+      unlock(l);
+      sleep(10);
+      io(20);
+      yield();
+      mark(1, 2);
+      int t;
+      t = now();
+    }
+  )");
+  const MirFunction& f = Fn(m, "f");
+  auto count = [&](MirOp::Kind kind) {
+    std::size_t n = 0;
+    for (const auto& op : f.ops) {
+      n += op.kind == kind;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(MirOp::Kind::kLock), 1u);
+  EXPECT_EQ(count(MirOp::Kind::kUnlock), 1u);
+  EXPECT_EQ(count(MirOp::Kind::kSleep), 1u);
+  EXPECT_EQ(count(MirOp::Kind::kIo), 1u);
+  EXPECT_EQ(count(MirOp::Kind::kYield), 1u);
+  EXPECT_EQ(count(MirOp::Kind::kMark), 1u);
+  EXPECT_EQ(count(MirOp::Kind::kNow), 1u);
+}
+
+TEST(MirBuilderTest, RejectsUnknownVariable) {
+  EXPECT_THROW(Build("void f() { nope = 1; }"), LoweringError);
+}
+
+TEST(MirBuilderTest, RejectsLockOnLocal) {
+  EXPECT_THROW(Build("void f() { int l; lock(l); }"), LoweringError);
+}
+
+TEST(LsvTest, PointerParamsAreSeeds) {
+  const MirModule m = Build("void f(int *p, int v) { *p = v; }");
+  const MirFunction& f = Fn(m, "f");
+  const LsvResult lsv = ComputeLsv(f);
+  EXPECT_TRUE(lsv.local_in_lsv[0]);   // p
+  EXPECT_FALSE(lsv.local_in_lsv[1]);  // v (plain value param)
+}
+
+TEST(LsvTest, DataFlowClosurePropagates) {
+  const MirModule m = Build(R"(
+    int *gp;
+    void f() {
+      int *q;
+      q = gp;       // q derives from a shared pointer
+      *q = 1;
+      int x;
+      x = 5;        // x stays private
+    }
+  )");
+  const MirFunction& f = Fn(m, "f");
+  const LsvResult lsv = ComputeLsv(f);
+  int q = -1;
+  int x = -1;
+  for (std::size_t i = 0; i < f.locals.size(); ++i) {
+    if (f.locals[i].name == "q") {
+      q = static_cast<int>(i);
+    }
+    if (f.locals[i].name == "x") {
+      x = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(q, 0);
+  ASSERT_GE(x, 0);
+  EXPECT_TRUE(lsv.local_in_lsv[static_cast<std::size_t>(q)]);
+  EXPECT_FALSE(lsv.local_in_lsv[static_cast<std::size_t>(x)]);
+}
+
+TEST(LsvTest, CallResultsAreShared) {
+  const MirModule m = Build(R"(
+    int *alloc() { return 0; }
+    void f() {
+      int *p;
+      p = alloc();
+      *p = 1;
+    }
+  )");
+  const MirFunction& f = Fn(m, "f");
+  const LsvResult lsv = ComputeLsv(f);
+  for (std::size_t i = 0; i < f.locals.size(); ++i) {
+    if (f.locals[i].name == "p") {
+      EXPECT_TRUE(lsv.local_in_lsv[i]);
+    }
+  }
+}
+
+// The paper's core example: a read followed by a write of the same global
+// within one subroutine forms one AR with watch type "remote write".
+TEST(AtomicRegionTest, ReadThenWriteFormsOneAr) {
+  const MirModule m = Build(R"(
+    int shared_ptr;
+    void f() {
+      if (shared_ptr == 0) {
+        shared_ptr = 1;
+      }
+    }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  const auto& fa = AnnotationsFor(m, ann, "f");
+  ASSERT_EQ(fa.ars.size(), 1u);
+  EXPECT_EQ(fa.ars[0].first_type, AccessType::kRead);
+  EXPECT_EQ(fa.ars[0].watch, WatchType::kWrite);
+  ASSERT_EQ(fa.ars[0].ends.size(), 1u);
+  EXPECT_EQ(fa.ars[0].ends[0].second, AccessType::kWrite);
+  EXPECT_TRUE(fa.ars[0].needs_replica == false);
+}
+
+// Figure 4: three consecutive accesses produce chained ARs; the middle
+// access is both a second and a first.
+TEST(AtomicRegionTest, Figure4ChainedRegions) {
+  const MirModule m = Build(R"(
+    int shared;
+    int other;
+    void f() {
+      if (shared == 0) {      // access 1: read
+        shared = 1;           // access 2: write
+      }
+      other = shared;         // access 3: read
+    }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  const auto& fa = AnnotationsFor(m, ann, "f");
+  // Pairs on `shared`: (1,2), (2,3), (1,3)  ->  grouped by first access:
+  // AR(first=1) with ends {2,3}, AR(first=2) with ends {3}.
+  ASSERT_EQ(fa.ars.size(), 2u);
+  const FunctionAr* ar1 = nullptr;
+  const FunctionAr* ar2 = nullptr;
+  for (const auto& ar : fa.ars) {
+    if (ar.first_type == AccessType::kRead) {
+      ar1 = &ar;
+    } else {
+      ar2 = &ar;
+    }
+  }
+  ASSERT_NE(ar1, nullptr);
+  ASSERT_NE(ar2, nullptr);
+  EXPECT_EQ(ar1->ends.size(), 2u);  // write on the then-path, read after
+  EXPECT_EQ(ar2->ends.size(), 1u);
+  EXPECT_TRUE(ar2->needs_replica);
+  // First access read paired with both a write and a read along different
+  // paths: Figure 6's bottom row requires watching remote writes in both
+  // cases; ar2 (W first, R second) also watches remote writes.
+  EXPECT_EQ(ar1->watch, WatchType::kWrite);
+  EXPECT_EQ(ar2->watch, WatchType::kWrite);
+}
+
+// Figure 6 bottom-right: a first write pairing with a read on one path and
+// a write on the other must watch for both remote reads and remote writes.
+TEST(AtomicRegionTest, MixedSecondAccessWatchesReadWrite) {
+  const MirModule m = Build(R"(
+    int shared;
+    int cond;
+    int sink;
+    void f() {
+      shared = 1;            // first access: write
+      if (cond == 1) {
+        sink = shared;       // second access: read
+      } else {
+        shared = 2;          // second access: write
+      }
+    }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  const auto& fa = AnnotationsFor(m, ann, "f");
+  const FunctionAr* first_write_ar = nullptr;
+  for (const auto& ar : fa.ars) {
+    if (ar.first_type == AccessType::kWrite && ar.ends.size() == 2) {
+      first_write_ar = &ar;
+    }
+  }
+  ASSERT_NE(first_write_ar, nullptr);
+  EXPECT_EQ(first_write_ar->watch, WatchType::kReadWrite);
+}
+
+TEST(AtomicRegionTest, DistinctVariablesDistinctArs) {
+  const MirModule m = Build(R"(
+    int a;
+    int b;
+    void f() {
+      a = a + 1;
+      b = b + 1;
+    }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  const auto& fa = AnnotationsFor(m, ann, "f");
+  ASSERT_EQ(fa.ars.size(), 2u);
+  EXPECT_NE(fa.ars[0].var.index, fa.ars[1].var.index);
+}
+
+TEST(AtomicRegionTest, NonSharedLocalsNotAnnotated) {
+  const MirModule m = Build(R"(
+    void f() {
+      int x;
+      x = 1;
+      x = x + 1;
+    }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  EXPECT_TRUE(AnnotationsFor(m, ann, "f").ars.empty());
+}
+
+TEST(AtomicRegionTest, PointerDerefPairsByPointerName) {
+  const MirModule m = Build(R"(
+    void f(int *p, int *q) {
+      int t;
+      t = *p;       // read via p
+      *p = t + 1;   // write via p -> pairs with the read
+      *q = 5;       // q is a different name: no pair with p's accesses
+    }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  const auto& fa = AnnotationsFor(m, ann, "f");
+  ASSERT_EQ(fa.ars.size(), 1u);
+  EXPECT_EQ(fa.ars[0].first_type, AccessType::kRead);
+}
+
+TEST(AtomicRegionTest, ArraysTreatedAsOneVariable) {
+  // The paper treats a whole array as a single shared variable: accesses to
+  // different elements still pair.
+  const MirModule m = Build(R"(
+    int table[16];
+    void f(int i, int j) {
+      int t;
+      t = table[i];
+      table[j] = t;
+    }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  ASSERT_EQ(AnnotationsFor(m, ann, "f").ars.size(), 1u);
+}
+
+TEST(AtomicRegionTest, SyncVariablesFlagged) {
+  const MirModule m = Build(R"(
+    sync int mutex;
+    int data;
+    void f() {
+      lock(mutex);
+      data = data + 1;
+      unlock(mutex);
+    }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  const auto& fa = AnnotationsFor(m, ann, "f");
+  // ARs: (lock,unlock) on mutex; (read,write) on data.
+  ASSERT_EQ(fa.ars.size(), 2u);
+  std::size_t sync_count = 0;
+  for (const auto& ar : fa.ars) {
+    if (ar.is_sync) {
+      ++sync_count;
+      EXPECT_TRUE(ann.sync_ars.contains(ar.id));
+    }
+  }
+  EXPECT_EQ(sync_count, 1u);
+}
+
+TEST(AtomicRegionTest, IdsGloballyUniqueAcrossFunctions) {
+  const MirModule m = Build(R"(
+    int g;
+    void f1() { g = g + 1; }
+    void f2() { g = g + 2; }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  ASSERT_EQ(ann.infos.size(), 2u);
+  EXPECT_NE(ann.infos[0].id, ann.infos[1].id);
+  EXPECT_EQ(ann.InfoFor(ann.infos[0].id)->variable, "g");
+}
+
+TEST(AtomicRegionTest, AccessesInDifferentFunctionsDoNotPair) {
+  // The analysis is intra-procedural (paper §3.5): a read in f1 and a write
+  // in f2 produce no AR.
+  const MirModule m = Build(R"(
+    int g;
+    int sink;
+    void f1() { sink = g; }
+    void f2() { g = 1; }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  EXPECT_TRUE(AnnotationsFor(m, ann, "f1").ars.empty());
+  EXPECT_TRUE(AnnotationsFor(m, ann, "f2").ars.empty());
+}
+
+TEST(AtomicRegionTest, LoopCarriedAccessesPairAcrossIterations) {
+  const MirModule m = Build(R"(
+    int g;
+    void f(int n) {
+      for (int i = 0; i < n; i = i + 1) {
+        g = g + 1;
+      }
+    }
+  )");
+  const ModuleAnnotations ann = Annotate(m);
+  const auto& fa = AnnotationsFor(m, ann, "f");
+  // Within an iteration: (read, write). Across iterations the write reaches
+  // the next read: (write, read). Self-pairs are skipped.
+  ASSERT_EQ(fa.ars.size(), 2u);
+}
+
+TEST(MirBuilderTest, BreakOutsideLoopRejected) {
+  EXPECT_THROW(Build("void f() { break; }"), LoweringError);
+  EXPECT_THROW(Build("void f() { continue; }"), LoweringError);
+}
+
+}  // namespace
+}  // namespace kivati

@@ -1,0 +1,142 @@
+// Integration tests of the `kivati` command-line tool: drives the real
+// binary (path injected by CMake) over temp program files and checks its
+// output and exit codes.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace kivati {
+namespace {
+
+#ifndef KIVATI_CLI_PATH
+#error "KIVATI_CLI_PATH must be defined by the build"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunCli(const std::string& args) {
+  const std::string command = std::string(KIVATI_CLI_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buffer;
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return result;
+  }
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "kivati_cli_test";
+    std::filesystem::create_directories(dir_);
+    program_ = (dir_ / "prog.kv").string();
+    std::ofstream out(program_);
+    out << R"(
+      int counter;
+      sync int m;
+      void racer(int id) {
+        for (int i = 0; i < 40; i = i + 1) {
+          int t = counter;
+          for (int k = 0; k < 150; k = k + 1) { t = t + 0; }
+          counter = t + 1;
+        }
+      }
+      void safe(int id) {
+        for (int i = 0; i < 40; i = i + 1) {
+          lock(m);
+          counter = counter + 1;
+          unlock(m);
+        }
+      }
+    )";
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+  std::string program_;
+};
+
+TEST_F(CliTest, AnnotateListsRegions) {
+  const CommandResult result = RunCli("annotate " + program_);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("atomic region(s):"), std::string::npos);
+  EXPECT_NE(result.output.find("counter"), std::string::npos);
+  EXPECT_NE(result.output.find("[sync var]"), std::string::npos);
+}
+
+TEST_F(CliTest, AnnotateDisasmShowsAnnotations) {
+  const CommandResult result = RunCli("annotate " + program_ + " --disasm");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("begin_atomic"), std::string::npos);
+  EXPECT_NE(result.output.find("end_atomic"), std::string::npos);
+  EXPECT_NE(result.output.find("clear_ar"), std::string::npos);
+}
+
+TEST_F(CliTest, RunReportsViolations) {
+  const CommandResult result =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("completed"), std::string::npos);
+  EXPECT_NE(result.output.find("violation"), std::string::npos);
+  EXPECT_NE(result.output.find("kernel crossings"), std::string::npos);
+}
+
+TEST_F(CliTest, VanillaRunSkipsKivati) {
+  const CommandResult result =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --vanilla");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("completed"), std::string::npos);
+  EXPECT_EQ(result.output.find("kernel crossings"), std::string::npos);
+}
+
+TEST_F(CliTest, TrainProducesWhitelistThatSilencesRun) {
+  const std::string whitelist = (dir_ / "wl.txt").string();
+  const CommandResult train =
+      RunCli("train " + program_ + " --threads racer:0,racer:1 --iterations 4 "
+             "--save-whitelist " + whitelist);
+  EXPECT_EQ(train.exit_code, 0) << train.output;
+  EXPECT_NE(train.output.find("false positives per iteration"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(whitelist));
+
+  const CommandResult run = RunCli("run " + program_ + " --threads racer:0,racer:1 "
+                                   "--preset base --seed 9 --whitelist " + whitelist);
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("no atomicity violations detected"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownFunctionFails) {
+  const CommandResult result = RunCli("run " + program_ + " --threads nosuch:0");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("no function"), std::string::npos);
+}
+
+TEST_F(CliTest, ParseErrorsSurface) {
+  const std::string bad = (dir_ / "bad.kv").string();
+  std::ofstream(bad) << "void f( { }";
+  const CommandResult result = RunCli("annotate " + bad);
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("expected"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownOptionFails) {
+  const CommandResult result = RunCli("run " + program_ + " --bogus");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("unknown option"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kivati

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace kivati {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) {
+    seen.insert(rng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v = rng.NextInRange(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(15);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+  }
+}
+
+TEST(RngTest, ForkIndependentOfParent) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // Advancing the child must not change the parent's sequence relative to a
+  // twin that forked but never used its child.
+  Rng parent2(99);
+  Rng child2 = parent2.Fork();
+  (void)child2;
+  for (int i = 0; i < 16; ++i) {
+    child.Next();
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(parent.Next(), parent2.Next());
+  }
+}
+
+TEST(WatchTypeTest, UnionCombines) {
+  EXPECT_EQ(Union(WatchType::kRead, WatchType::kWrite), WatchType::kReadWrite);
+  EXPECT_EQ(Union(WatchType::kRead, WatchType::kNone), WatchType::kRead);
+  EXPECT_EQ(Union(WatchType::kReadWrite, WatchType::kWrite), WatchType::kReadWrite);
+}
+
+TEST(WatchTypeTest, MatchesRespectsType) {
+  EXPECT_TRUE(Matches(WatchType::kRead, AccessType::kRead));
+  EXPECT_FALSE(Matches(WatchType::kRead, AccessType::kWrite));
+  EXPECT_TRUE(Matches(WatchType::kReadWrite, AccessType::kWrite));
+  EXPECT_FALSE(Matches(WatchType::kNone, AccessType::kRead));
+}
+
+// The four non-serializable interleavings of the paper's Figure 2 — and
+// nothing else.
+TEST(SerializabilityTest, Figure2Patterns) {
+  const AccessType R = AccessType::kRead;
+  const AccessType W = AccessType::kWrite;
+  EXPECT_TRUE(NonSerializable(R, W, R));   // lost read consistency
+  EXPECT_TRUE(NonSerializable(W, W, R));   // local read sees foreign write
+  EXPECT_TRUE(NonSerializable(W, R, W));   // remote reads intermediate value
+  EXPECT_TRUE(NonSerializable(R, W, W));   // lost update
+  EXPECT_FALSE(NonSerializable(R, R, R));
+  EXPECT_FALSE(NonSerializable(R, R, W));
+  EXPECT_FALSE(NonSerializable(W, R, R));
+  EXPECT_FALSE(NonSerializable(W, W, W));  // serializable: remote-first order
+}
+
+// Figure 6: the remote access type to watch, derived from the local pair.
+TEST(SerializabilityTest, Figure6WatchTypes) {
+  const AccessType R = AccessType::kRead;
+  const AccessType W = AccessType::kWrite;
+  EXPECT_EQ(RemoteWatchFor(R, R), WatchType::kWrite);
+  EXPECT_EQ(RemoteWatchFor(R, W), WatchType::kWrite);
+  EXPECT_EQ(RemoteWatchFor(W, R), WatchType::kWrite);
+  EXPECT_EQ(RemoteWatchFor(W, W), WatchType::kRead);
+}
+
+// Every watch type derived from Figure 6 must trap exactly the remote
+// accesses that can complete a non-serializable interleaving.
+TEST(SerializabilityTest, WatchCoversAllViolations) {
+  for (const AccessType first : {AccessType::kRead, AccessType::kWrite}) {
+    for (const AccessType second : {AccessType::kRead, AccessType::kWrite}) {
+      const WatchType watch = RemoteWatchFor(first, second);
+      for (const AccessType remote : {AccessType::kRead, AccessType::kWrite}) {
+        if (NonSerializable(first, remote, second)) {
+          EXPECT_TRUE(Matches(watch, remote))
+              << ToString(first) << "-" << ToString(remote) << "-" << ToString(second);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kivati

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/instruction.h"
+#include "isa/program.h"
+#include "isa/rollback_table.h"
+
+namespace kivati {
+namespace {
+
+TEST(InstructionTest, LengthsAreVariable) {
+  Instruction nop{.op = Opcode::kNop};
+  Instruction mov{.op = Opcode::kMov, .rd = 1, .rs1 = 2};
+  Instruction li_small{.op = Opcode::kLoadImm, .rd = 1, .imm = 42};
+  Instruction li_big{.op = Opcode::kLoadImm, .rd = 1, .imm = 1LL << 40};
+  EXPECT_EQ(EncodedLength(nop), 1u);
+  EXPECT_EQ(EncodedLength(mov), 3u);
+  EXPECT_EQ(EncodedLength(li_small), 5u);
+  EXPECT_EQ(EncodedLength(li_big), 10u);
+}
+
+TEST(InstructionTest, MemoryOperandOffsetAffectsLength) {
+  Instruction near{.op = Opcode::kLoad, .rd = 1, .mem = MemOperand::Indirect(2, 16), .size = 8};
+  Instruction far{.op = Opcode::kLoad, .rd = 1, .mem = MemOperand::Indirect(2, 4096), .size = 8};
+  EXPECT_LT(EncodedLength(near), EncodedLength(far));
+}
+
+TEST(InstructionTest, MemoryClassification) {
+  EXPECT_TRUE(ReadsMemory(Opcode::kLoad));
+  EXPECT_FALSE(WritesMemory(Opcode::kLoad));
+  EXPECT_TRUE(WritesMemory(Opcode::kStore));
+  EXPECT_TRUE(ReadsMemory(Opcode::kMovM));
+  EXPECT_TRUE(WritesMemory(Opcode::kMovM));
+  EXPECT_TRUE(ReadsMemory(Opcode::kXchg));
+  EXPECT_TRUE(WritesMemory(Opcode::kXchg));
+  EXPECT_TRUE(WritesMemory(Opcode::kCall));     // pushes the return address
+  EXPECT_TRUE(ReadsMemory(Opcode::kRet));       // pops it
+  EXPECT_FALSE(AccessesMemory(Opcode::kAdd));
+  EXPECT_FALSE(AccessesMemory(Opcode::kABegin));
+}
+
+TEST(InstructionTest, StackDeltas) {
+  EXPECT_EQ(StackDelta(Opcode::kPush), -8);
+  EXPECT_EQ(StackDelta(Opcode::kPushM), -8);
+  EXPECT_EQ(StackDelta(Opcode::kCall), -8);
+  EXPECT_EQ(StackDelta(Opcode::kCallInd), -8);
+  EXPECT_EQ(StackDelta(Opcode::kPop), 8);
+  EXPECT_EQ(StackDelta(Opcode::kRet), 8);
+  EXPECT_EQ(StackDelta(Opcode::kStore), 0);
+}
+
+TEST(ProgramBuilderTest, AssignsContiguousPcs) {
+  ProgramBuilder b;
+  b.BeginFunction("f");
+  b.Nop();                 // 1 byte
+  b.LoadImm(1, 5);         // 5 bytes
+  b.Mov(2, 1);             // 3 bytes
+  b.Ret();                 // 1 byte
+  b.EndFunction();
+  const Program p = b.Build();
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.PcOf(0), 0u);
+  EXPECT_EQ(p.PcOf(1), 1u);
+  EXPECT_EQ(p.PcOf(2), 6u);
+  EXPECT_EQ(p.PcOf(3), 9u);
+  EXPECT_EQ(p.text_end(), 10u);
+  EXPECT_EQ(p.IndexOfPc(6).value(), 2u);
+  EXPECT_FALSE(p.IndexOfPc(7).has_value());
+}
+
+TEST(ProgramBuilderTest, PatchesBranchTargets) {
+  ProgramBuilder b;
+  b.BeginFunction("f");
+  const auto target = b.NewLabel();
+  b.Jmp(target);
+  b.Nop();
+  b.Bind(target);
+  b.Ret();
+  b.EndFunction();
+  const Program p = b.Build();
+  EXPECT_EQ(static_cast<ProgramCounter>(p.At(0).target), p.PcOf(2));
+}
+
+TEST(ProgramBuilderTest, ForwardFunctionReference) {
+  ProgramBuilder b;
+  b.BeginFunction("caller");
+  b.Call("callee");
+  b.Ret();
+  b.EndFunction();
+  b.BeginFunction("callee");
+  b.Ret();
+  b.EndFunction();
+  const Program p = b.Build();
+  const FunctionInfo* callee = p.FindFunction("callee");
+  ASSERT_NE(callee, nullptr);
+  EXPECT_EQ(static_cast<ProgramCounter>(p.At(0).target), callee->entry);
+}
+
+TEST(ProgramBuilderTest, UnboundLabelThrows) {
+  ProgramBuilder b;
+  b.BeginFunction("f");
+  b.Call("missing");
+  b.Ret();
+  b.EndFunction();
+  EXPECT_THROW(b.Build(), std::runtime_error);
+}
+
+TEST(ProgramBuilderTest, LoadFunctionAddressPatchesImm) {
+  ProgramBuilder b;
+  b.BeginFunction("main");
+  b.LoadFunctionAddress(0, "worker");
+  b.Ret();
+  b.EndFunction();
+  b.BeginFunction("worker");
+  b.Ret();
+  b.EndFunction();
+  const Program p = b.Build();
+  EXPECT_EQ(static_cast<ProgramCounter>(p.At(0).imm), p.FindFunction("worker")->entry);
+}
+
+TEST(ProgramTest, FunctionAtCoversBody) {
+  ProgramBuilder b;
+  b.BeginFunction("a");
+  b.Nop();
+  b.Ret();
+  b.EndFunction();
+  b.BeginFunction("b");
+  b.Nop();
+  b.Ret();
+  b.EndFunction();
+  const Program p = b.Build();
+  EXPECT_EQ(p.FunctionAt(p.FindFunction("a")->entry)->name, "a");
+  EXPECT_EQ(p.FunctionAt(p.FindFunction("b")->entry)->name, "b");
+}
+
+TEST(RollbackTableTest, MapsNextPcToAccessingInstruction) {
+  ProgramBuilder b;
+  b.BeginFunction("f");
+  b.LoadImm(1, 7);                                          // not a memory access
+  b.Store(MemOperand::Absolute(0x10000), 1);                // memory access
+  b.Load(2, MemOperand::Absolute(0x10000));                 // memory access
+  b.Ret();
+  b.EndFunction();
+  const Program p = b.Build();
+  const RollbackTable table(p);
+
+  const ProgramCounter store_pc = p.PcOf(1);
+  const ProgramCounter load_pc = p.PcOf(2);
+  EXPECT_EQ(table.PrevAccessingPc(load_pc).value(), store_pc);           // next of store
+  EXPECT_EQ(table.PrevAccessingPc(p.PcOf(3)).value(), load_pc);          // next of load
+  EXPECT_FALSE(table.PrevAccessingPc(store_pc).has_value());             // next of loadimm
+}
+
+TEST(RollbackTableTest, FunctionEntriesRecorded) {
+  ProgramBuilder b;
+  b.BeginFunction("main");
+  b.Ret();
+  b.EndFunction();
+  b.BeginFunction("helper");
+  b.Ret();
+  b.EndFunction();
+  const Program p = b.Build();
+  const RollbackTable table(p);
+  EXPECT_TRUE(table.IsFunctionEntry(p.FindFunction("main")->entry));
+  EXPECT_TRUE(table.IsFunctionEntry(p.FindFunction("helper")->entry));
+  EXPECT_FALSE(table.IsFunctionEntry(p.text_end()));
+}
+
+TEST(DisasmTest, RendersCoreInstructions) {
+  EXPECT_EQ(Disassemble({.op = Opcode::kLoadImm, .rd = 3, .imm = 42}), "li r3, 42");
+  EXPECT_EQ(Disassemble({.op = Opcode::kLoad, .rd = 2,
+                         .mem = MemOperand::Indirect(1, 16), .size = 4}),
+            "ld r2, [r1+16] (4B)");
+  const std::string begin = Disassemble({.op = Opcode::kABegin,
+                                         .mem = MemOperand::Absolute(0x10000),
+                                         .size = 8,
+                                         .ar_id = 5,
+                                         .watch = WatchType::kWrite,
+                                         .local_first = AccessType::kRead});
+  EXPECT_NE(begin.find("begin_atomic"), std::string::npos);
+  EXPECT_NE(begin.find("ar=5"), std::string::npos);
+}
+
+TEST(DisasmTest, ProgramListingHasFunctionHeaders) {
+  ProgramBuilder b;
+  b.BeginFunction("main");
+  b.Nop();
+  b.Ret();
+  b.EndFunction();
+  const std::string listing = DisassembleProgram(b.Build());
+  EXPECT_NE(listing.find("main:"), std::string::npos);
+  EXPECT_NE(listing.find("nop"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kivati

@@ -1,0 +1,648 @@
+// End-to-end tests of the Kivati kernel + runtime on hand-assembled
+// programs with a deterministic single-core, round-robin machine.
+//
+// The canonical scenario: a "local" thread executes an annotated atomic
+// region over variable A while a "remote" thread accesses A from inside the
+// AR window (the scheduler preempts the local thread mid-AR).
+#include <gtest/gtest.h>
+
+#include "mem/address_space.h"
+#include "runtime/kivati_runtime.h"
+#include "sched/machine.h"
+#include "tests/test_util.h"
+
+namespace kivati {
+namespace {
+
+using testing::EmitDelay;
+using testing::SingleCoreConfig;
+
+constexpr Addr kVarA = kDataBase;
+constexpr Addr kVarB = kDataBase + 8;
+constexpr Addr kVarC = kDataBase + 16;
+
+constexpr ArId kAr = 1;
+
+struct PairOptions {
+  AccessType first = AccessType::kRead;
+  AccessType second = AccessType::kWrite;
+  std::int64_t local_gap = 2000;    // delay iterations between the two accesses
+  std::int64_t remote_delay = 100;  // delay iterations before the remote access
+  bool remote_reads_to_memory = false;  // remote uses movm [B], [A]
+  bool remote_annotated = false;        // remote wraps its access in its own AR
+  std::int64_t local_first_value = 7;
+  std::int64_t local_second_value = 8;
+  std::int64_t remote_value = 99;
+};
+
+// local:  begin_atomic; first access; delay; second access; end_atomic
+//         (second-access read value is stored to C for inspection)
+// remote: delay; one access to A (write 99, or read into r2/into B)
+Program BuildPair(const PairOptions& options) {
+  ProgramBuilder b;
+  b.BeginFunction("local");
+  b.BeginAtomic(kAr, MemOperand::Absolute(kVarA), 8,
+                RemoteWatchFor(options.first, options.second), options.first);
+  if (options.first == AccessType::kRead) {
+    b.Load(2, MemOperand::Absolute(kVarA));
+  } else {
+    b.LoadImm(2, options.local_first_value);
+    b.Store(MemOperand::Absolute(kVarA), 2);
+  }
+  EmitDelay(b, options.local_gap);
+  if (options.second == AccessType::kRead) {
+    b.Load(3, MemOperand::Absolute(kVarA));
+    b.Store(MemOperand::Absolute(kVarC), 3);
+  } else {
+    b.LoadImm(3, options.local_second_value);
+    b.Store(MemOperand::Absolute(kVarA), 3);
+  }
+  b.EndAtomic(kAr, options.second);
+  b.Halt();
+  b.EndFunction();
+
+  b.BeginFunction("remote");
+  EmitDelay(b, options.remote_delay);
+  if (options.remote_annotated) {
+    b.BeginAtomic(kAr + 1, MemOperand::Absolute(kVarA), 8, WatchType::kReadWrite,
+                  AccessType::kWrite);
+  }
+  if (options.remote_reads_to_memory) {
+    b.MovM(MemOperand::Absolute(kVarB), MemOperand::Absolute(kVarA));
+  } else if (options.remote_value >= 0) {
+    b.LoadImm(2, options.remote_value);
+    b.Store(MemOperand::Absolute(kVarA), 2);
+  } else {
+    b.Load(2, MemOperand::Absolute(kVarA));  // plain remote read into a register
+  }
+  if (options.remote_annotated) {
+    b.EndAtomic(kAr + 1, AccessType::kWrite);
+  }
+  b.Halt();
+  b.EndFunction();
+  return b.Build();
+}
+
+struct E2E {
+  Machine machine;
+  KivatiRuntime runtime;
+
+  E2E(Program program, const KivatiConfig& config, MachineConfig mc = SingleCoreConfig(1000))
+      : machine(std::move(program), mc), runtime(machine, config) {}
+
+  RunResult RunPair() {
+    machine.SpawnThreadByName("local", 0);
+    machine.SpawnThreadByName("remote", 0);
+    return machine.Run(20'000'000);
+  }
+};
+
+KivatiConfig BaseConfig() {
+  KivatiConfig config;
+  config.mode = KivatiMode::kPrevention;
+  return config;
+}
+
+// --- Detection & prevention of the four non-serializable patterns ----------
+
+TEST(KernelE2E, ReadWriteReadRemoteWriteIsViolation) {
+  PairOptions options;
+  options.first = AccessType::kRead;
+  options.second = AccessType::kRead;
+  E2E e(BuildPair(options), BaseConfig());
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  const auto& violations = e.machine.trace().violations();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].ar_id, kAr);
+  EXPECT_EQ(violations[0].remote, AccessType::kWrite);
+  EXPECT_TRUE(violations[0].prevented);
+  // The remote write was reordered after the AR: both local reads saw the
+  // same (pre-remote) value, and A ends with the remote value.
+  EXPECT_EQ(e.machine.memory().Read(kVarA, 8), 99u);
+  EXPECT_EQ(e.machine.memory().Read(kVarC, 8), 0u);  // second read saw initial 0
+}
+
+TEST(KernelE2E, LostUpdatePatternPrevented) {
+  // R ... W with interleaving remote write: Figure 1's lost-update shape.
+  PairOptions options;
+  options.first = AccessType::kRead;
+  options.second = AccessType::kWrite;
+  E2E e(BuildPair(options), BaseConfig());
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  ASSERT_EQ(e.machine.trace().violations().size(), 1u);
+  EXPECT_TRUE(e.machine.trace().violations()[0].prevented);
+  // Remote write re-executes after the AR: final value is the remote's.
+  EXPECT_EQ(e.machine.memory().Read(kVarA, 8), 99u);
+}
+
+TEST(KernelE2E, WriteReadWithRemoteWriteUndone) {
+  // W-rW-R: the remote write must be undone so the local read still sees
+  // the locally written value — the heart of the trap-after undo engine.
+  PairOptions options;
+  options.first = AccessType::kWrite;
+  options.second = AccessType::kRead;
+  E2E e(BuildPair(options), BaseConfig());
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  ASSERT_EQ(e.machine.trace().violations().size(), 1u);
+  EXPECT_TRUE(e.machine.trace().violations()[0].prevented);
+  // The local second read observed the local first write, not the remote's.
+  EXPECT_EQ(e.machine.memory().Read(kVarC, 8), 7u);
+  // After the AR the remote write re-executed.
+  EXPECT_EQ(e.machine.memory().Read(kVarA, 8), 99u);
+}
+
+TEST(KernelE2E, WriteWriteWithRemoteReadIsViolation) {
+  // W-rR-W: the remote read observes an intermediate value.
+  PairOptions options;
+  options.first = AccessType::kWrite;
+  options.second = AccessType::kWrite;
+  options.remote_value = -1;  // remote reads
+  E2E e(BuildPair(options), BaseConfig());
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  ASSERT_EQ(e.machine.trace().violations().size(), 1u);
+  EXPECT_EQ(e.machine.trace().violations()[0].remote, AccessType::kRead);
+  EXPECT_TRUE(e.machine.trace().violations()[0].prevented);
+  EXPECT_EQ(e.machine.memory().Read(kVarA, 8), 8u);
+  // The remote thread re-executed its read after the AR and saw the final
+  // value.
+  EXPECT_EQ(e.machine.thread(1).regs[2], 8u);
+}
+
+TEST(KernelE2E, SerializableRemoteWriteAfterWriteWriteNotReported) {
+  // W-rW-W is serializable (equivalent to remote-write-first): the remote
+  // write still traps (in the base configuration the watchpoint also watches
+  // writes to record the first local write's value) and is conservatively
+  // delayed, but the serializability check must log no violation.
+  PairOptions options;
+  options.first = AccessType::kWrite;
+  options.second = AccessType::kWrite;
+  E2E e(BuildPair(options), BaseConfig());
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_EQ(e.machine.trace().violations().size(), 0u);
+  // The delayed remote write re-executed after the AR.
+  EXPECT_EQ(e.machine.memory().Read(kVarA, 8), 99u);
+}
+
+TEST(KernelE2E, SerializableRemoteWriteWithLocalDisableNeverTraps) {
+  // With optimization 3 there is no pending-write-record watch, so a (W,W)
+  // AR watches only remote reads: the remote write does not trap at all.
+  PairOptions options;
+  options.first = AccessType::kWrite;
+  options.second = AccessType::kWrite;
+  KivatiConfig config = BaseConfig();
+  config.opt_local_disable = true;
+  E2E e(BuildPair(options), config);
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_EQ(e.machine.trace().violations().size(), 0u);
+  EXPECT_EQ(e.machine.trace().stats().watchpoint_traps, 0u);
+}
+
+TEST(KernelE2E, NoRemoteAccessNoViolation) {
+  PairOptions options;
+  options.remote_delay = 400000;  // remote touches A long after the AR ended
+  E2E e(BuildPair(options), BaseConfig());
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_EQ(e.machine.trace().violations().size(), 0u);
+}
+
+TEST(KernelE2E, RemoteWriteAfterSecondLocalWriteRestoresLatestValue) {
+  // Regression test: the rollback value for undoing a remote write must
+  // track the *latest* local write, not just the first. A remote write
+  // landing between the AR's second (write) access and its end_atomic was
+  // once rolled back to the first write's value, resurrecting stale state
+  // (for a lock word: a lock owned by nobody).
+  ProgramBuilder b;
+  b.BeginFunction("local");
+  b.BeginAtomic(kAr, MemOperand::Absolute(kVarA), 8, WatchType::kReadWrite,
+                AccessType::kWrite);
+  b.LoadImm(2, 7);
+  b.Store(MemOperand::Absolute(kVarA), 2);   // first local write
+  b.LoadImm(2, 8);
+  b.Store(MemOperand::Absolute(kVarA), 2);   // second local write
+  EmitDelay(b, 2000);                        // window before end_atomic
+  b.Load(4, MemOperand::Absolute(kVarA));    // observe the restored value
+  b.EndAtomic(kAr, AccessType::kWrite);
+  b.Halt();
+  b.EndFunction();
+  b.BeginFunction("remote");
+  EmitDelay(b, 300);
+  b.LoadImm(2, 99);
+  b.Store(MemOperand::Absolute(kVarA), 2);   // lands inside the window
+  b.Halt();
+  b.EndFunction();
+
+  Machine machine(b.Build(), SingleCoreConfig(1000));
+  KivatiConfig config;
+  KivatiRuntime runtime(machine, config);
+  machine.SpawnThreadByName("local", 0);
+  machine.SpawnThreadByName("remote", 0);
+  ASSERT_TRUE(machine.Run(20'000'000).all_done);
+  // The undone remote write must have restored 8 (the second local write),
+  // which the local thread then observed.
+  EXPECT_EQ(machine.thread(0).regs[4], 8u);
+  // The remote write re-executed after the AR.
+  EXPECT_EQ(machine.memory().Read(kVarA, 8), 99u);
+}
+
+// --- Suspension, timeout, and required violations ---------------------------
+
+TEST(KernelE2E, RemoteSuspendedUntilArCompletes) {
+  PairOptions options;
+  E2E e(BuildPair(options), BaseConfig());
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_GE(e.machine.trace().stats().remote_suspensions, 1u);
+  EXPECT_EQ(e.machine.trace().stats().suspension_timeouts, 0u);
+}
+
+TEST(KernelE2E, TimeoutReleasesRemoteAndReportsUnprevented) {
+  PairOptions options;
+  options.first = AccessType::kRead;
+  options.second = AccessType::kWrite;
+  // The local gap far exceeds the 10 ms suspension timeout (10 ms = 500k
+  // cycles at the default 50k cycles/ms).
+  options.local_gap = 400'000;  // ~800k cycles
+  E2E e(BuildPair(options), BaseConfig());
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_GE(e.machine.trace().stats().suspension_timeouts, 1u);
+  ASSERT_EQ(e.machine.trace().violations().size(), 1u);
+  EXPECT_FALSE(e.machine.trace().violations()[0].prevented);
+  // The remote write was released at the timeout and the local second write
+  // landed after it.
+  EXPECT_EQ(e.machine.memory().Read(kVarA, 8), 8u);
+}
+
+TEST(KernelE2E, AnnotatedRemoteSuspendedAtItsBeginAtomic) {
+  PairOptions options;
+  options.remote_annotated = true;
+  E2E e(BuildPair(options), BaseConfig());
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  // The remote thread was parked at its begin_atomic, so its access never
+  // interleaved: no violation on the local AR.
+  EXPECT_EQ(e.machine.trace().violations().size(), 0u);
+  EXPECT_GE(e.machine.trace().stats().remote_suspensions, 1u);
+  EXPECT_EQ(e.machine.memory().Read(kVarA, 8), 99u);
+}
+
+// --- Read-into-memory guard watchpoints -------------------------------------
+
+TEST(KernelE2E, RemoteReadIntoMemoryGetsGuarded) {
+  PairOptions options;
+  options.first = AccessType::kWrite;
+  options.second = AccessType::kWrite;
+  options.remote_reads_to_memory = true;  // movm [B], [A]
+  E2E e(BuildPair(options), BaseConfig());
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  ASSERT_EQ(e.machine.trace().violations().size(), 1u);
+  EXPECT_TRUE(e.machine.trace().violations()[0].prevented);
+  // After the AR the remote movm re-executed: B holds the final value of A,
+  // not the intermediate 7.
+  EXPECT_EQ(e.machine.memory().Read(kVarA, 8), 8u);
+  EXPECT_EQ(e.machine.memory().Read(kVarB, 8), 8u);
+}
+
+// --- Whitelist, null-syscall, missed ARs ------------------------------------
+
+TEST(KernelE2E, WhitelistedArIsIgnored) {
+  PairOptions options;
+  KivatiConfig config = BaseConfig();
+  config.whitelist.insert(kAr);
+  E2E e(BuildPair(options), config);
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_EQ(e.machine.trace().violations().size(), 0u);
+  EXPECT_EQ(e.machine.trace().stats().watchpoint_traps, 0u);
+  EXPECT_EQ(e.machine.trace().stats().ars_whitelisted, 2u);  // begin + end
+  EXPECT_EQ(e.machine.trace().stats().kernel_entries_begin, 0u);
+}
+
+TEST(KernelE2E, NullSyscallModeCrossesButDetectsNothing) {
+  PairOptions options;
+  KivatiConfig config = BaseConfig();
+  config.null_syscall = true;
+  E2E e(BuildPair(options), config);
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_EQ(e.machine.trace().violations().size(), 0u);
+  EXPECT_EQ(e.machine.trace().stats().watchpoint_traps, 0u);
+  EXPECT_GE(e.machine.trace().stats().kernel_entries_begin, 1u);
+  EXPECT_GE(e.machine.trace().stats().kernel_entries_end, 1u);
+}
+
+TEST(KernelE2E, WatchpointExhaustionCountsMissedArs) {
+  // Five overlapping ARs on five distinct variables with only four
+  // watchpoint registers: exactly one AR goes unmonitored.
+  ProgramBuilder b;
+  b.BeginFunction("local");
+  for (unsigned i = 0; i < 5; ++i) {
+    b.BeginAtomic(kAr + i, MemOperand::Absolute(kDataBase + 8 * i), 8, WatchType::kWrite,
+                  AccessType::kRead);
+    b.Load(2, MemOperand::Absolute(kDataBase + 8 * i));
+  }
+  for (unsigned i = 0; i < 5; ++i) {
+    b.Load(2, MemOperand::Absolute(kDataBase + 8 * i));
+    b.EndAtomic(kAr + i, AccessType::kRead);
+  }
+  b.Halt();
+  b.EndFunction();
+  Machine machine(b.Build(), SingleCoreConfig());
+  KivatiRuntime runtime(machine, BaseConfig());
+  machine.SpawnThreadByName("local", 0);
+  const RunResult result = machine.Run(10'000'000);
+  ASSERT_TRUE(result.all_done);
+  EXPECT_EQ(machine.trace().stats().ars_missed, 1u);
+  EXPECT_EQ(machine.trace().stats().ars_entered, 5u);
+}
+
+// --- clear_ar ---------------------------------------------------------------
+
+TEST(KernelE2E, ClearArTerminatesOpenRegions) {
+  // The local thread opens an AR and returns without end_atomic; clear_ar
+  // at the subroutine exit must free the watchpoint and discard triggers.
+  ProgramBuilder b;
+  b.BeginFunction("local");
+  b.Call("opener");
+  EmitDelay(b, 4000);
+  b.Halt();
+  b.EndFunction();
+  b.BeginFunction("opener");
+  b.BeginAtomic(kAr, MemOperand::Absolute(kVarA), 8, WatchType::kWrite, AccessType::kRead);
+  b.Load(2, MemOperand::Absolute(kVarA));
+  b.ClearAr();
+  b.Ret();
+  b.EndFunction();
+  b.BeginFunction("remote");
+  EmitDelay(b, 3000);
+  b.LoadImm(2, 99);
+  b.Store(MemOperand::Absolute(kVarA), 2);
+  b.Halt();
+  b.EndFunction();
+
+  Machine machine(b.Build(), SingleCoreConfig(1000));
+  KivatiRuntime runtime(machine, BaseConfig());
+  machine.SpawnThreadByName("local", 0);
+  machine.SpawnThreadByName("remote", 0);
+  const RunResult result = machine.Run(10'000'000);
+  ASSERT_TRUE(result.all_done);
+  EXPECT_EQ(machine.trace().violations().size(), 0u);
+  EXPECT_EQ(machine.memory().Read(kVarA, 8), 99u);
+  // The watchpoint was freed by clear_ar, so the late remote write must not
+  // have been undone/suspended.
+  EXPECT_EQ(machine.trace().stats().remote_suspensions, 0u);
+}
+
+// --- Optimization behaviours -------------------------------------------------
+
+TEST(KernelE2E, FastPathAvoidsCrossingsOnMissedArs) {
+  // With all registers busy, an optimized begin_atomic discovers the miss in
+  // user space.
+  ProgramBuilder b;
+  b.BeginFunction("local");
+  for (unsigned i = 0; i < 5; ++i) {
+    b.BeginAtomic(kAr + i, MemOperand::Absolute(kDataBase + 8 * i), 8, WatchType::kWrite,
+                  AccessType::kRead);
+    b.Load(2, MemOperand::Absolute(kDataBase + 8 * i));
+  }
+  for (unsigned i = 0; i < 5; ++i) {
+    b.Load(2, MemOperand::Absolute(kDataBase + 8 * i));
+    b.EndAtomic(kAr + i, AccessType::kRead);
+  }
+  b.Halt();
+  b.EndFunction();
+
+  KivatiConfig config = BaseConfig();
+  config.opt_fast_path = true;
+  config.opt_lazy_free = true;
+  Machine machine(b.Build(), SingleCoreConfig());
+  KivatiRuntime runtime(machine, config);
+  machine.SpawnThreadByName("local", 0);
+  ASSERT_TRUE(machine.Run(10'000'000).all_done);
+  EXPECT_GE(machine.trace().stats().fast_path_begin, 1u);
+  EXPECT_GE(machine.trace().stats().fast_path_end, 1u);
+}
+
+TEST(KernelE2E, LazyFreeRevivesWatchpointWithoutKernel) {
+  // Two back-to-back ARs on the same variable: with lazy free + fast path
+  // the second begin_atomic revives the still-armed register in user space.
+  ProgramBuilder b;
+  b.BeginFunction("local");
+  for (int round = 0; round < 2; ++round) {
+    b.BeginAtomic(kAr, MemOperand::Absolute(kVarA), 8, WatchType::kWrite, AccessType::kRead);
+    b.Load(2, MemOperand::Absolute(kVarA));
+    b.Load(2, MemOperand::Absolute(kVarA));
+    b.EndAtomic(kAr, AccessType::kRead);
+  }
+  b.Halt();
+  b.EndFunction();
+
+  auto run = [&](bool lazy) {
+    KivatiConfig config = BaseConfig();
+    config.opt_fast_path = true;
+    config.opt_lazy_free = lazy;
+    ProgramBuilder b2;
+    b2.BeginFunction("local");
+    for (int round = 0; round < 2; ++round) {
+      b2.BeginAtomic(kAr, MemOperand::Absolute(kVarA), 8, WatchType::kWrite,
+                     AccessType::kRead);
+      b2.Load(2, MemOperand::Absolute(kVarA));
+      b2.Load(2, MemOperand::Absolute(kVarA));
+      b2.EndAtomic(kAr, AccessType::kRead);
+    }
+    b2.Halt();
+    b2.EndFunction();
+    Machine machine(b2.Build(), SingleCoreConfig());
+    KivatiRuntime runtime(machine, config);
+    machine.SpawnThreadByName("local", 0);
+    machine.Run(10'000'000);
+    return machine.trace().stats();
+  };
+  const RuntimeStats lazy = run(true);
+  const RuntimeStats eager = run(false);
+  EXPECT_LT(lazy.kernel_entries_total(), eager.kernel_entries_total());
+}
+
+TEST(KernelE2E, LocalDisableSuppressesOwnerTraps) {
+  // A (W, R) AR's own local write traps in the base configuration so the
+  // kernel can record the written value; optimization 3 eliminates that.
+  auto run = [&](bool local_disable) {
+    PairOptions options;
+    options.first = AccessType::kWrite;
+    options.second = AccessType::kRead;
+    options.remote_delay = 500'000;  // remote never interferes
+    KivatiConfig config = BaseConfig();
+    config.opt_local_disable = local_disable;
+    E2E e(BuildPair(options), config);
+    e.RunPair();
+    return e.machine.trace().stats().watchpoint_traps;
+  };
+  EXPECT_GT(run(false), 0u);   // local write trap for value recording
+  EXPECT_EQ(run(true), 0u);    // suppressed while the owner runs
+}
+
+TEST(KernelE2E, LocalDisableStillUndoesRemoteWrite) {
+  // With optimization 3 the undo value comes from the shared page, written
+  // at begin_atomic (no replica store in this hand-assembled program, but
+  // the begin-time initialization covers a remote write that lands before
+  // the local one re-writes).
+  PairOptions options;
+  options.first = AccessType::kWrite;
+  options.second = AccessType::kRead;
+  KivatiConfig config = BaseConfig();
+  config.opt_local_disable = true;
+  // Hand-emit the replica store the compiler would insert: easier to just
+  // rely on begin-time initialization by making the local first write equal
+  // to the initial value.
+  options.local_first_value = 0;
+  E2E e(BuildPair(options), config);
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  ASSERT_EQ(e.machine.trace().violations().size(), 1u);
+  EXPECT_TRUE(e.machine.trace().violations()[0].prevented);
+  EXPECT_EQ(e.machine.memory().Read(kVarC, 8), 0u);  // read the local value
+}
+
+// --- Trap-before delivery (SPARC-style ablation) -----------------------------
+
+TEST(KernelE2E, TrapBeforeDeliveryPreventsWithoutUndo) {
+  PairOptions options;
+  options.first = AccessType::kWrite;
+  options.second = AccessType::kRead;
+  MachineConfig mc = SingleCoreConfig(1000);
+  mc.trap_delivery = TrapDelivery::kBefore;
+  E2E e(BuildPair(options), BaseConfig(), mc);
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  ASSERT_EQ(e.machine.trace().violations().size(), 1u);
+  EXPECT_TRUE(e.machine.trace().violations()[0].prevented);
+  EXPECT_EQ(e.machine.memory().Read(kVarC, 8), 7u);
+  EXPECT_EQ(e.machine.memory().Read(kVarA, 8), 99u);
+}
+
+// --- Bug-finding mode ---------------------------------------------------------
+
+TEST(KernelE2E, BugFindingModePausesInsideAr) {
+  PairOptions options;
+  options.local_gap = 10;      // without the pause the AR closes immediately
+  options.remote_delay = 800;  // remote arrives during the pause only
+  KivatiConfig config = BaseConfig();
+  config.mode = KivatiMode::kBugFinding;
+  config.bugfinding_pause_probability = 1.0;  // always pause
+  config.bugfinding_pause_ms = 2.0;           // 10k cycles
+  E2E e(BuildPair(options), config);
+  const RunResult result = e.RunPair();
+  ASSERT_TRUE(result.all_done);
+  EXPECT_GE(e.machine.trace().stats().bugfinding_pauses, 1u);
+  ASSERT_EQ(e.machine.trace().violations().size(), 1u);
+
+  // Same timing without the pause: no interleaving, no violation.
+  KivatiConfig prevention = BaseConfig();
+  E2E e2(BuildPair(options), prevention);
+  ASSERT_TRUE(e2.RunPair().all_done);
+  EXPECT_EQ(e2.machine.trace().violations().size(), 0u);
+}
+
+
+// --- Figure-2 patterns under both trap deliveries ----------------------------
+//
+// Every non-serializable interleaving must be detected and prevented under
+// trap-after (x86, undo engine) and trap-before (SPARC, simple delay)
+// delivery alike; serializable ones must never be reported.
+
+struct PatternCase {
+  AccessType first;
+  AccessType second;
+  AccessType remote;
+  bool violation;  // per Figure 2
+};
+
+class DeliveryPatternTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DeliveryPatternTest, DetectionMatchesFigure2) {
+  static const PatternCase kPatterns[] = {
+      {AccessType::kRead, AccessType::kRead, AccessType::kWrite, true},    // R-W-R
+      {AccessType::kWrite, AccessType::kRead, AccessType::kWrite, true},   // W-W-R
+      {AccessType::kWrite, AccessType::kWrite, AccessType::kRead, true},   // W-R-W
+      {AccessType::kRead, AccessType::kWrite, AccessType::kWrite, true},   // R-W-W
+      {AccessType::kRead, AccessType::kRead, AccessType::kRead, false},    // R-R-R
+      {AccessType::kWrite, AccessType::kRead, AccessType::kRead, false},   // W-R-R
+      {AccessType::kRead, AccessType::kWrite, AccessType::kRead, false},   // R-R-W
+  };
+  const PatternCase& pattern = kPatterns[std::get<0>(GetParam())];
+  const TrapDelivery delivery =
+      std::get<1>(GetParam()) == 0 ? TrapDelivery::kAfter : TrapDelivery::kBefore;
+
+  PairOptions options;
+  options.first = pattern.first;
+  options.second = pattern.second;
+  options.remote_value = pattern.remote == AccessType::kWrite ? 99 : -1;
+  MachineConfig mc = SingleCoreConfig(1000);
+  mc.trap_delivery = delivery;
+  // Watch both access types so even serializable remote accesses trap; the
+  // serializability check at end_atomic must still reject them. Build a
+  // custom pair with a forced ReadWrite watch.
+  ProgramBuilder b;
+  b.BeginFunction("local");
+  b.BeginAtomic(kAr, MemOperand::Absolute(kVarA), 8, WatchType::kReadWrite, options.first);
+  if (options.first == AccessType::kRead) {
+    b.Load(2, MemOperand::Absolute(kVarA));
+  } else {
+    b.LoadImm(2, 7);
+    b.Store(MemOperand::Absolute(kVarA), 2);
+  }
+  EmitDelay(b, 2000);
+  if (options.second == AccessType::kRead) {
+    b.Load(3, MemOperand::Absolute(kVarA));
+  } else {
+    b.LoadImm(3, 8);
+    b.Store(MemOperand::Absolute(kVarA), 3);
+  }
+  b.EndAtomic(kAr, options.second);
+  b.Halt();
+  b.EndFunction();
+  b.BeginFunction("remote");
+  EmitDelay(b, 300);
+  if (pattern.remote == AccessType::kWrite) {
+    b.LoadImm(2, 99);
+    b.Store(MemOperand::Absolute(kVarA), 2);
+  } else {
+    b.Load(2, MemOperand::Absolute(kVarA));
+  }
+  b.Halt();
+  b.EndFunction();
+
+  Machine machine(b.Build(), mc);
+  KivatiConfig config;
+  KivatiRuntime runtime(machine, config);
+  machine.SpawnThreadByName("local", 0);
+  machine.SpawnThreadByName("remote", 0);
+  ASSERT_TRUE(machine.Run(20'000'000).all_done);
+  // The remote access must have been observed mid-region in all cases.
+  ASSERT_GE(machine.trace().stats().watchpoint_traps, 1u);
+  if (pattern.violation) {
+    ASSERT_EQ(machine.trace().violations().size(), 1u);
+    const ViolationRecord& v = machine.trace().violations()[0];
+    EXPECT_EQ(v.first, pattern.first);
+    EXPECT_EQ(v.second, pattern.second);
+    EXPECT_EQ(v.remote, pattern.remote);
+    EXPECT_TRUE(v.prevented);
+  } else {
+    EXPECT_TRUE(machine.trace().violations().empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, DeliveryPatternTest,
+                         ::testing::Combine(::testing::Range(0, 7), ::testing::Range(0, 2)));
+
+}  // namespace
+}  // namespace kivati

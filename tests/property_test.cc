@@ -1,0 +1,243 @@
+// Property-based tests: randomly generated mini-C programs are pushed
+// through the full pipeline (parse -> annotate -> compile -> simulate under
+// several Kivati configurations) and system-level invariants are checked:
+//
+//   P1  the protected machine always terminates (suspension timeouts bound
+//       every delay Kivati introduces — "never introduces new
+//       synchronization errors", §2.1);
+//   P2  single-threaded executions are semantically transparent: final
+//       global state matches the vanilla run exactly (the undo engine and
+//       annotations must not perturb program semantics);
+//   P3  every reported violation is one of Figure 2's four non-serializable
+//       interleavings, carries valid debug info, and prevented <= detected;
+//   P4  whitelisting every AR yields zero reports and zero annotation
+//       crossings;
+//   P5  runs are deterministic for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "compile/compiler.h"
+#include "core/engine.h"
+
+namespace kivati {
+namespace {
+
+// Generates a random but always-terminating mini-C program: a handful of
+// globals (scalars, arrays, sync locks), helper functions that mix reads,
+// writes, locks and compute, and a worker that calls them in a bounded loop.
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    const int num_scalars = static_cast<int>(rng_.NextInRange(2, 5));
+    const int num_arrays = static_cast<int>(rng_.NextInRange(0, 2));
+    const int num_helpers = static_cast<int>(rng_.NextInRange(2, 5));
+
+    std::ostringstream out;
+    out << "sync int lk;\n";
+    for (int i = 0; i < num_scalars; ++i) {
+      out << "int g" << i << (rng_.NextBool(0.3) ? " = 1" : "") << ";\n";
+    }
+    for (int i = 0; i < num_arrays; ++i) {
+      out << "int arr" << i << "[" << rng_.NextInRange(4, 16) << "];\n";
+    }
+    scalars_ = num_scalars;
+    arrays_ = num_arrays;
+
+    for (int h = 0; h < num_helpers; ++h) {
+      out << "void helper" << h << "(int x) {\n";
+      const int statements = static_cast<int>(rng_.NextInRange(1, 5));
+      const bool locked = rng_.NextBool(0.4);
+      if (locked) {
+        out << "  lock(lk);\n";
+      }
+      for (int s = 0; s < statements; ++s) {
+        EmitStatement(out, 1, "x");
+      }
+      if (locked) {
+        out << "  unlock(lk);\n";
+      }
+      out << "}\n";
+    }
+    helpers_ = num_helpers;
+
+    out << "void worker(int id) {\n";
+    out << "  for (int i = 0; i < " << rng_.NextInRange(10, 40) << "; i = i + 1) {\n";
+    const int calls = static_cast<int>(rng_.NextInRange(1, 4));
+    for (int c = 0; c < calls; ++c) {
+      if (rng_.NextBool(0.7)) {
+        out << "    helper" << rng_.NextBelow(static_cast<std::uint64_t>(helpers_))
+            << "(i + id);\n";
+      } else {
+        EmitStatement(out, 2, "id");
+      }
+    }
+    out << "    int burn = i;\n";
+    out << "    for (int k = 0; k < " << rng_.NextInRange(20, 120)
+        << "; k = k + 1) { burn = burn * 3 + 1; }\n";
+    out << "  }\n}\n";
+    return out.str();
+  }
+
+ private:
+  std::string Indent(int depth) { return std::string(static_cast<std::size_t>(depth) * 2, ' '); }
+
+  std::string RandomLvalue(const std::string& param) {
+    if (arrays_ > 0 && rng_.NextBool(0.3)) {
+      return "arr" + std::to_string(rng_.NextBelow(static_cast<std::uint64_t>(arrays_))) + "[" +
+             RandomRvalue(param) + " & 3]";
+    }
+    return "g" + std::to_string(rng_.NextBelow(static_cast<std::uint64_t>(scalars_)));
+  }
+
+  std::string RandomRvalue(const std::string& param) {
+    switch (rng_.NextBelow(3)) {
+      case 0:
+        return std::to_string(rng_.NextBelow(100));
+      case 1:
+        return "g" + std::to_string(rng_.NextBelow(static_cast<std::uint64_t>(scalars_)));
+      default:
+        return param;
+    }
+  }
+
+  void EmitStatement(std::ostringstream& out, int depth, const std::string& param) {
+    const std::string lhs = RandomLvalue(param);
+    switch (rng_.NextBelow(3)) {
+      case 0:
+        out << Indent(depth) << lhs << " = " << RandomRvalue(param) << ";\n";
+        break;
+      case 1:
+        out << Indent(depth) << lhs << " = " << lhs << " + " << RandomRvalue(param) << ";\n";
+        break;
+      default:
+        out << Indent(depth) << "if (" << RandomLvalue(param) << " != " << rng_.NextBelow(4)
+            << ") {\n"
+            << Indent(depth + 1) << lhs << " = " << RandomRvalue(param) << ";\n"
+            << Indent(depth) << "}\n";
+        break;
+    }
+  }
+
+  Rng rng_;
+  int scalars_ = 0;
+  int arrays_ = 0;
+  int helpers_ = 0;
+};
+
+struct RunOutcome {
+  bool completed = false;
+  std::vector<std::uint64_t> global_values;
+  Cycles cycles = 0;
+  RuntimeStats stats;
+  std::vector<ViolationRecord> violations;
+};
+
+RunOutcome RunProgram(const CompiledProgram& compiled, int threads,
+                      const std::optional<KivatiConfig>& kivati, std::uint64_t machine_seed) {
+  Workload workload;
+  workload.name = "fuzz";
+  workload.program = compiled.program;
+  for (int t = 0; t < threads; ++t) {
+    workload.threads.emplace_back("worker", static_cast<std::uint64_t>(t));
+  }
+  workload.init = [&compiled](AddressSpace& memory) { compiled.InitMemory(memory); };
+
+  EngineOptions options;
+  options.machine.num_cores = 2;
+  options.machine.policy = SchedPolicy::kRandom;
+  options.machine.seed = machine_seed;
+  options.kivati = kivati;
+
+  Engine engine(workload, options);
+  const RunResult result = engine.Run(300'000'000);
+
+  RunOutcome outcome;
+  outcome.completed = result.all_done;
+  outcome.cycles = result.cycles;
+  outcome.stats = engine.trace().stats();
+  outcome.violations = engine.trace().violations();
+  for (const auto& [name, addr] : compiled.global_addrs) {
+    outcome.global_values.push_back(engine.machine().memory().Read(addr, 8));
+  }
+  return outcome;
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, PipelineInvariants) {
+  const std::string source = ProgramGenerator(GetParam()).Generate();
+  SCOPED_TRACE("program:\n" + source);
+
+  const CompiledProgram compiled = CompileSource(source);
+
+  // P2: single-threaded transparency.
+  {
+    const RunOutcome vanilla = RunProgram(compiled, 1, std::nullopt, 7);
+    ASSERT_TRUE(vanilla.completed);
+    for (const bool optimized : {false, true}) {
+      KivatiConfig config;
+      config.opt_fast_path = optimized;
+      config.opt_lazy_free = optimized;
+      config.opt_local_disable = optimized;
+      const RunOutcome protected_run = RunProgram(compiled, 1, config, 7);
+      ASSERT_TRUE(protected_run.completed);
+      EXPECT_EQ(protected_run.global_values, vanilla.global_values)
+          << "single-threaded semantics perturbed (optimized=" << optimized << ")";
+      EXPECT_TRUE(protected_run.violations.empty());
+    }
+  }
+
+  // P1 + P3: multi-threaded protected runs terminate; reports well-formed.
+  for (const bool optimized : {false, true}) {
+    KivatiConfig config;
+    config.opt_fast_path = optimized;
+    config.opt_lazy_free = optimized;
+    config.opt_local_disable = optimized;
+    const RunOutcome run = RunProgram(compiled, 3, config, 13);
+    EXPECT_TRUE(run.completed) << "protected run did not terminate";
+    for (const ViolationRecord& v : run.violations) {
+      EXPECT_TRUE(NonSerializable(v.first, v.remote, v.second))
+          << "reported violation is serializable: " << ToString(v);
+      ASSERT_GE(v.ar_id, 1u);
+      ASSERT_LE(v.ar_id, compiled.num_ars);
+      EXPECT_NE(v.local_thread, v.remote_thread);
+      EXPECT_FALSE(compiled.ar_infos[v.ar_id - 1].variable.empty());
+    }
+    EXPECT_LE(run.stats.violations_prevented, run.stats.violations_detected);
+    EXPECT_LE(run.stats.ars_missed, run.stats.ars_entered);
+    EXPECT_LE(run.stats.fast_path_begin + run.stats.kernel_entries_begin,
+              run.stats.begin_atomic_calls);
+  }
+
+  // P4: whitelisting everything silences Kivati entirely.
+  {
+    KivatiConfig config;
+    for (ArId ar = 1; ar <= compiled.num_ars; ++ar) {
+      config.whitelist.insert(ar);
+    }
+    const RunOutcome run = RunProgram(compiled, 3, config, 13);
+    EXPECT_TRUE(run.completed);
+    EXPECT_TRUE(run.violations.empty());
+    EXPECT_EQ(run.stats.kernel_entries_begin, 0u);
+    EXPECT_EQ(run.stats.watchpoint_traps, 0u);
+  }
+
+  // P5: determinism.
+  {
+    KivatiConfig config;
+    const RunOutcome a = RunProgram(compiled, 3, config, 21);
+    const RunOutcome b = RunProgram(compiled, 3, config, 21);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.global_values, b.global_values);
+    EXPECT_EQ(a.violations.size(), b.violations.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace kivati

@@ -1,0 +1,279 @@
+// Codegen/semantics edge cases (block scoping, shadowing, call chains,
+// array decay, spin waits) and end-of-run kernel quiescence invariants.
+#include <gtest/gtest.h>
+
+#include "compile/compiler.h"
+#include "runtime/kivati_runtime.h"
+#include "tests/test_util.h"
+
+namespace kivati {
+namespace {
+
+using testing::SingleCoreConfig;
+
+std::uint64_t RunAndRead(const std::string& source, const std::string& global,
+                         const std::string& entry = "main") {
+  const CompiledProgram compiled = CompileSource(source);
+  Machine m(compiled.program, SingleCoreConfig());
+  compiled.InitMemory(m.memory());
+  m.SpawnThreadByName(entry, 0);
+  EXPECT_TRUE(m.Run(50'000'000).all_done);
+  return m.memory().Read(compiled.GlobalAddr(global), 8);
+}
+
+TEST(SemanticsTest, BlockScopingAndShadowing) {
+  EXPECT_EQ(RunAndRead(R"(
+    int out;
+    void main() {
+      int x = 1;
+      if (x == 1) {
+        int x = 10;          // shadows the outer x
+        out = out + x;       // 10
+      }
+      for (int x = 0; x < 3; x = x + 1) {
+        out = out + x;       // 0+1+2
+      }
+      out = out + x;         // outer x still 1
+    }
+  )", "out"), 14u);
+}
+
+TEST(SemanticsTest, NestedCallChains) {
+  EXPECT_EQ(RunAndRead(R"(
+    int out;
+    int twice(int v) { return v + v; }
+    int inc(int v) { return v + 1; }
+    void main() { out = twice(inc(twice(5))); }
+  )", "out"), 22u);
+}
+
+TEST(SemanticsTest, RecursionWithLocals) {
+  EXPECT_EQ(RunAndRead(R"(
+    int out;
+    int sum(int n) {
+      if (n == 0) { return 0; }
+      int below = sum(n - 1);
+      return below + n;
+    }
+    void main() { out = sum(20); }
+  )", "out"), 210u);
+}
+
+TEST(SemanticsTest, ArrayDecayAndPointerWalk) {
+  EXPECT_EQ(RunAndRead(R"(
+    int data[4];
+    int out;
+    void fill(int *p, int n) {
+      for (int i = 0; i < n; i = i + 1) {
+        *p = i + 1;
+        p = p + 8;           // byte-addressed: next 64-bit element
+      }
+    }
+    void main() {
+      fill(&data, 4);
+      out = data[0] + data[1] + data[2] + data[3];
+    }
+  )", "out"), 10u);
+}
+
+TEST(SemanticsTest, AddressOfElement) {
+  EXPECT_EQ(RunAndRead(R"(
+    int data[8];
+    int out;
+    void bump(int *p) { *p = *p + 5; }
+    void main() {
+      data[3] = 10;
+      bump(&data[3]);
+      out = data[3];
+    }
+  )", "out"), 15u);
+}
+
+TEST(SemanticsTest, EmptySpinWaitTerminates) {
+  EXPECT_EQ(RunAndRead(R"(
+    sync int flag;
+    int out;
+    void setter(int unused) {
+      for (int i = 0; i < 2000; i = i + 1) { out = out + 0; }
+      flag = 1;
+    }
+    void main() {
+      spawn setter(0);
+      while (flag == 0);
+      out = 42;
+    }
+  )", "out"), 42u);
+}
+
+TEST(SemanticsTest, UnsignedWrapArithmetic) {
+  EXPECT_EQ(RunAndRead(R"(
+    int out;
+    void main() {
+      int x = 0;
+      x = x - 1;             // wraps to 2^64-1
+      out = x & 255;
+    }
+  )", "out"), 255u);
+}
+
+TEST(SemanticsTest, ComparisonChainsViaNestedIf) {
+  EXPECT_EQ(RunAndRead(R"(
+    int out;
+    void main() {
+      int a = 5;
+      int b = 9;
+      if (a < b) {
+        if (b <= 9) {
+          if (a != b) {
+            out = 1;
+          }
+        }
+      }
+    }
+  )", "out"), 1u);
+}
+
+TEST(SemanticsTest, DivisionAndModulo) {
+  EXPECT_EQ(RunAndRead(R"(
+    int out;
+    void main() {
+      int a = 47;
+      out = (a / 5) * 100 + a % 5;   // 9 * 100 + 2
+    }
+  )", "out"), 902u);
+}
+
+TEST(SemanticsTest, DivisionByZeroYieldsZero) {
+  EXPECT_EQ(RunAndRead(R"(
+    int out;
+    void main() {
+      int z = 0;
+      out = 7 / z + 7 % z + 3;
+    }
+  )", "out"), 3u);
+}
+
+TEST(SemanticsTest, BreakExitsInnermostLoop) {
+  EXPECT_EQ(RunAndRead(R"(
+    int out;
+    void main() {
+      for (int i = 0; i < 10; i = i + 1) {
+        for (int j = 0; j < 10; j = j + 1) {
+          if (j == 3) { break; }
+          out = out + 1;           // 3 per outer iteration
+        }
+        if (i == 4) { break; }
+      }
+    }
+  )", "out"), 15u);
+}
+
+TEST(SemanticsTest, ContinueRunsForStep) {
+  EXPECT_EQ(RunAndRead(R"(
+    int out;
+    void main() {
+      for (int i = 0; i < 10; i = i + 1) {
+        if ((i % 2) == 0) { continue; }
+        out = out + i;             // 1+3+5+7+9
+      }
+    }
+  )", "out"), 25u);
+}
+
+TEST(SemanticsTest, ContinueInWhileRetests) {
+  EXPECT_EQ(RunAndRead(R"(
+    int out;
+    void main() {
+      int i = 0;
+      while (i < 6) {
+        i = i + 1;
+        if (i == 2) { continue; }
+        out = out + i;             // 1+3+4+5+6
+      }
+    }
+  )", "out"), 19u);
+}
+
+// --- Kernel quiescence: after a run completes, no live state may leak -------
+
+struct QuiescenceCase {
+  const char* name;
+  const char* source;
+  std::vector<std::pair<std::string, std::uint64_t>> threads;
+};
+
+class QuiescenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuiescenceTest, NoLeakedKernelState) {
+  static const QuiescenceCase kCases[] = {
+      {"uncontended", R"(
+        int g;
+        void main() {
+          for (int i = 0; i < 40; i = i + 1) { g = g + 1; }
+        }
+      )", {{"main", 0}}},
+      {"contended", R"(
+        int g;
+        void worker(int id) {
+          for (int i = 0; i < 40; i = i + 1) {
+            int t = g;
+            for (int k = 0; k < 60; k = k + 1) { t = t + 0; }
+            g = t + 1;
+          }
+        }
+      )", {{"worker", 0}, {"worker", 1}, {"worker", 2}}},
+      {"locked", R"(
+        sync int m;
+        int g;
+        void worker(int id) {
+          for (int i = 0; i < 25; i = i + 1) {
+            lock(m);
+            g = g + 1;
+            unlock(m);
+          }
+        }
+      )", {{"worker", 0}, {"worker", 1}}},
+      {"early-exit", R"(
+        int g;
+        void worker(int id) {
+          int t = g;
+          if (id == 0) { exit(0); }
+          g = t + 1;
+        }
+      )", {{"worker", 0}, {"worker", 1}}},
+  };
+  const QuiescenceCase& test_case = kCases[GetParam()];
+  const CompiledProgram compiled = CompileSource(test_case.source);
+
+  for (const bool optimized : {false, true}) {
+    Machine m(compiled.program, SingleCoreConfig(700));
+    KivatiConfig config;
+    config.opt_fast_path = optimized;
+    config.opt_lazy_free = optimized;
+    config.opt_local_disable = optimized;
+    KivatiRuntime runtime(m, config);
+    compiled.InitMemory(m.memory());
+    for (const auto& [fn, arg] : test_case.threads) {
+      m.SpawnThreadByName(fn, arg);
+    }
+    ASSERT_TRUE(m.Run(100'000'000).all_done) << test_case.name;
+
+    // Invariants: every watchpoint is free (or lazily stale), no AR, no
+    // trigger, no suspended thread survives the run.
+    for (const WatchpointMeta& wp : runtime.kernel().watchpoints()) {
+      EXPECT_NE(wp.hw, WatchpointMeta::HwState::kArmed)
+          << test_case.name << ": watchpoint still armed";
+      EXPECT_TRUE(wp.ars.empty()) << test_case.name << ": leaked AR";
+      EXPECT_TRUE(wp.suspended.empty()) << test_case.name << ": leaked suspension";
+      EXPECT_FALSE(wp.guard) << test_case.name << ": leaked guard";
+    }
+    for (ThreadId tid = 0; tid < m.num_threads(); ++tid) {
+      EXPECT_EQ(runtime.kernel().OpenArs(tid), 0u) << test_case.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, QuiescenceTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace kivati

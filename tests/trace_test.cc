@@ -1,0 +1,122 @@
+// Tests of the trace module: violation records, false-positive accounting,
+// mark events and counters.
+#include <gtest/gtest.h>
+
+#include "trace/report.h"
+#include "trace/trace.h"
+
+namespace kivati {
+namespace {
+
+ViolationRecord MakeViolation(ArId ar, ThreadId remote = 2, bool prevented = true) {
+  ViolationRecord v;
+  v.ar_id = ar;
+  v.addr = 0x10000;
+  v.size = 8;
+  v.local_thread = 1;
+  v.first = AccessType::kRead;
+  v.second = AccessType::kWrite;
+  v.remote_thread = remote;
+  v.remote = AccessType::kWrite;
+  v.when = 1234;
+  v.prevented = prevented;
+  return v;
+}
+
+TEST(TraceTest, UniqueViolatingArsCountsRegionsNotEvents) {
+  // The paper's FP metric: an AR participating in many violations counts
+  // once (§4.2).
+  Trace trace;
+  trace.AddViolation(MakeViolation(1));
+  trace.AddViolation(MakeViolation(1));
+  trace.AddViolation(MakeViolation(1));
+  trace.AddViolation(MakeViolation(2));
+  EXPECT_EQ(trace.violations().size(), 4u);
+  EXPECT_EQ(trace.UniqueViolatingArs(), 2u);
+}
+
+TEST(TraceTest, ExcludingKnownBugs) {
+  Trace trace;
+  trace.AddViolation(MakeViolation(1));
+  trace.AddViolation(MakeViolation(2));
+  trace.AddViolation(MakeViolation(3));
+  const std::unordered_set<ArId> buggy = {2};
+  EXPECT_EQ(trace.UniqueViolatingArsExcluding(buggy), 2u);
+}
+
+TEST(TraceTest, ViolationToStringHasAllPaperFields) {
+  // §2.2: thread IDs, address of the shared variable, program counters.
+  ViolationRecord v = MakeViolation(7);
+  v.first_pc = 0x100;
+  v.second_pc = 0x200;
+  v.remote_pc = 0x300;
+  const std::string text = ToString(v);
+  EXPECT_NE(text.find("AR 7"), std::string::npos);
+  EXPECT_NE(text.find("0x10000"), std::string::npos);
+  EXPECT_NE(text.find("t1"), std::string::npos);
+  EXPECT_NE(text.find("t2"), std::string::npos);
+  EXPECT_NE(text.find("0x100"), std::string::npos);
+  EXPECT_NE(text.find("0x300"), std::string::npos);
+  EXPECT_NE(text.find("prevented"), std::string::npos);
+}
+
+TEST(TraceTest, UnpreventedFlaggedInText) {
+  const std::string text = ToString(MakeViolation(1, 2, /*prevented=*/false));
+  EXPECT_NE(text.find("NOT prevented"), std::string::npos);
+}
+
+TEST(TraceTest, ClearResetsEverything) {
+  Trace trace;
+  trace.AddViolation(MakeViolation(1));
+  trace.AddMark(MarkEvent{10, 0, 1, 2});
+  trace.stats().begin_atomic_calls = 99;
+  trace.Clear();
+  EXPECT_TRUE(trace.violations().empty());
+  EXPECT_TRUE(trace.marks().empty());
+  EXPECT_EQ(trace.stats().begin_atomic_calls, 0u);
+}
+
+TEST(TraceTest, KernelEntriesTotalSums) {
+  RuntimeStats stats;
+  stats.kernel_entries_begin = 3;
+  stats.kernel_entries_end = 4;
+  stats.kernel_entries_trap = 5;
+  EXPECT_EQ(stats.kernel_entries_total(), 12u);
+}
+
+
+TEST(ReportTest, GroupsViolationsByRegion) {
+  Trace trace;
+  trace.AddViolation(MakeViolation(3));
+  trace.AddViolation(MakeViolation(3, 4, /*prevented=*/false));
+  trace.AddViolation(MakeViolation(5));
+  const std::string report = FormatViolationReport(trace, [](ArId ar) {
+    return ar == 3 ? std::string("counter in worker()") : std::string();
+  });
+  EXPECT_NE(report.find("AR 3 (counter in worker()): 2 violation(s), 1 prevented"),
+            std::string::npos);
+  EXPECT_NE(report.find("AR 5"), std::string::npos);
+  EXPECT_NE(report.find("R-W-W"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyTraceSaysSo) {
+  Trace trace;
+  EXPECT_NE(FormatViolationReport(trace).find("no atomicity violations"), std::string::npos);
+}
+
+TEST(ReportTest, StatsSummaryHasRates) {
+  RuntimeStats stats;
+  stats.begin_atomic_calls = 100;
+  stats.end_atomic_calls = 90;
+  stats.kernel_entries_begin = 50;
+  stats.ars_entered = 100;
+  stats.ars_missed = 5;
+  stats.watchpoint_traps = 10;
+  const std::string summary = FormatStatsSummary(stats, 2.0);
+  EXPECT_NE(summary.find("100 begin"), std::string::npos);
+  EXPECT_NE(summary.find("(25.0/s)"), std::string::npos);  // 50 crossings / 2 s
+  EXPECT_NE(summary.find("5.00%"), std::string::npos);     // missed percentage
+}
+
+}  // namespace
+}  // namespace kivati

@@ -1,0 +1,313 @@
+// kivati — command-line front end to the Kivati toolchain.
+//
+//   kivati annotate FILE            show the atomic regions the static
+//                                   annotator finds (add --disasm for the
+//                                   annotated machine code)
+//   kivati run FILE [options]       compile, run under Kivati, and report
+//                                   violations and statistics
+//   kivati train FILE [options]     iterate runs, growing a whitelist from
+//                                   the benign violations found
+//
+// Options for run/train:
+//   --threads f[:arg][,f[:arg]...]  threads to start (default: main:0)
+//   --mode prevention|bug-finding   usage mode (default prevention)
+//   --preset base|null|syncvars|optimized   Table-3 configuration (default
+//                                   optimized; syncvars/optimized also
+//                                   whitelist sync-variable regions)
+//   --vanilla                       run without Kivati protection
+//   --cores N                       simulated cores (default 2)
+//   --watchpoints N                 watchpoint registers per core (default 4)
+//   --seed N                        scheduler seed (default 1)
+//   --max-cycles N                  virtual cycle budget (default 200M)
+//   --whitelist FILE                load AR whitelist from FILE
+//   --save-whitelist FILE           (train) write the trained whitelist
+//   --iterations N                  (train) training iterations (default 8)
+//   --pause-ms X                    bug-finding pause length (default 20)
+//   --interprocedural               annotator: regions spanning calls
+//   --precise-aliasing              annotator: alias/element precision
+//   --verbose                       print every violation record
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "core/engine.h"
+#include "core/trainer.h"
+#include "isa/disasm.h"
+#include "runtime/whitelist.h"
+#include "trace/report.h"
+
+namespace kivati {
+namespace {
+
+struct CliOptions {
+  std::string command;
+  std::string file;
+  std::vector<std::pair<std::string, std::uint64_t>> threads;
+  KivatiMode mode = KivatiMode::kPrevention;
+  OptimizationPreset preset = OptimizationPreset::kOptimized;
+  bool vanilla = false;
+  bool disasm = false;
+  bool verbose = false;
+  unsigned cores = 2;
+  unsigned watchpoints = 4;
+  std::uint64_t seed = 1;
+  Cycles max_cycles = 200'000'000;
+  std::string whitelist_path;
+  std::string save_whitelist_path;
+  int iterations = 8;
+  double pause_ms = 20.0;
+  AnnotateOptions annotator;
+};
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "kivati: %s\n", message.c_str());
+  std::exit(2);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    Fail("cannot open '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ParseThreads(const std::string& spec) {
+  std::vector<std::pair<std::string, std::uint64_t>> threads;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      threads.emplace_back(item, 0);
+    } else {
+      threads.emplace_back(item.substr(0, colon),
+                           std::strtoull(item.c_str() + colon + 1, nullptr, 0));
+    }
+  }
+  return threads;
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  if (argc < 3) {
+    Fail("usage: kivati annotate|run|train FILE [options] (see the header comment)");
+  }
+  options.command = argv[1];
+  options.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        Fail("missing value for " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      options.threads = ParseThreads(next());
+    } else if (arg == "--mode") {
+      const std::string mode = next();
+      if (mode == "prevention") {
+        options.mode = KivatiMode::kPrevention;
+      } else if (mode == "bug-finding" || mode == "bugfinding") {
+        options.mode = KivatiMode::kBugFinding;
+      } else {
+        Fail("unknown mode '" + mode + "'");
+      }
+    } else if (arg == "--preset") {
+      const std::string preset = next();
+      if (preset == "base") {
+        options.preset = OptimizationPreset::kBase;
+      } else if (preset == "null") {
+        options.preset = OptimizationPreset::kNullSyscall;
+      } else if (preset == "syncvars") {
+        options.preset = OptimizationPreset::kSyncVars;
+      } else if (preset == "optimized") {
+        options.preset = OptimizationPreset::kOptimized;
+      } else {
+        Fail("unknown preset '" + preset + "'");
+      }
+    } else if (arg == "--vanilla") {
+      options.vanilla = true;
+    } else if (arg == "--disasm") {
+      options.disasm = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--cores") {
+      options.cores = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 0));
+    } else if (arg == "--watchpoints") {
+      options.watchpoints = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 0));
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next().c_str(), nullptr, 0);
+    } else if (arg == "--max-cycles") {
+      options.max_cycles = std::strtoull(next().c_str(), nullptr, 0);
+    } else if (arg == "--whitelist") {
+      options.whitelist_path = next();
+    } else if (arg == "--save-whitelist") {
+      options.save_whitelist_path = next();
+    } else if (arg == "--iterations") {
+      options.iterations = std::atoi(next().c_str());
+    } else if (arg == "--pause-ms") {
+      options.pause_ms = std::atof(next().c_str());
+    } else if (arg == "--interprocedural") {
+      options.annotator.interprocedural = true;
+    } else if (arg == "--precise-aliasing") {
+      options.annotator.precise_aliasing = true;
+    } else {
+      Fail("unknown option '" + arg + "'");
+    }
+  }
+  if (options.threads.empty()) {
+    options.threads.emplace_back("main", 0);
+  }
+  return options;
+}
+
+CompiledProgram CompileFile(const CliOptions& options) {
+  CompileOptions compile_options;
+  compile_options.annotator = options.annotator;
+  return CompileSource(ReadFile(options.file), compile_options);
+}
+
+int Annotate(const CliOptions& options) {
+  const CompiledProgram compiled = CompileFile(options);
+  std::printf("%zu atomic region(s):\n", compiled.num_ars);
+  for (const ArDebugInfo& info : compiled.ar_infos) {
+    std::printf("  AR %-4u %-24s variable '%s'%s\n", info.id,
+                (info.function + "()").c_str(), info.variable.c_str(),
+                compiled.sync_ars.contains(info.id) ? "  [sync var]" : "");
+  }
+  if (options.disasm) {
+    std::printf("\n%s", DisassembleProgram(compiled.program).c_str());
+  }
+  return 0;
+}
+
+Workload MakeWorkload(const CliOptions& options, const CompiledProgram& compiled) {
+  Workload workload;
+  workload.name = options.file;
+  workload.program = compiled.program;
+  workload.threads = options.threads;
+  workload.init = [&compiled](AddressSpace& memory) { compiled.InitMemory(memory); };
+  workload.sync_var_ars = compiled.sync_ars;
+  workload.default_max_cycles = options.max_cycles;
+  return workload;
+}
+
+EngineOptions MakeEngineOptions(const CliOptions& options) {
+  EngineOptions engine_options;
+  engine_options.machine.num_cores = options.cores;
+  engine_options.machine.watchpoints_per_core = options.watchpoints;
+  engine_options.machine.seed = options.seed;
+  if (!options.vanilla) {
+    KivatiConfig config = KivatiConfig::PresetFor(options.preset, options.mode);
+    config.bugfinding_pause_ms = options.pause_ms;
+    if (!options.whitelist_path.empty()) {
+      Whitelist whitelist;
+      if (!whitelist.LoadFromFile(options.whitelist_path)) {
+        Fail("cannot read whitelist '" + options.whitelist_path + "'");
+      }
+      config.whitelist = whitelist.ids();
+    }
+    engine_options.kivati = config;
+    engine_options.whitelist_sync_vars = options.preset == OptimizationPreset::kSyncVars ||
+                                         options.preset == OptimizationPreset::kOptimized;
+  }
+  return engine_options;
+}
+
+int Run(const CliOptions& options) {
+  const CompiledProgram compiled = CompileFile(options);
+  for (const auto& [function, arg] : options.threads) {
+    if (compiled.program.FindFunction(function) == nullptr) {
+      Fail("no function '" + function + "' in " + options.file);
+    }
+  }
+  const Workload workload = MakeWorkload(options, compiled);
+  Engine engine(workload, MakeEngineOptions(options));
+  const RunResult result = engine.Run();
+
+  std::printf("run: %llu cycles, %llu instructions, %s\n",
+              static_cast<unsigned long long>(result.cycles),
+              static_cast<unsigned long long>(result.instructions),
+              result.all_done      ? "completed"
+              : result.deadlocked  ? "DEADLOCKED"
+                                   : "hit cycle budget");
+  const RuntimeStats& stats = engine.trace().stats();
+  if (!options.vanilla) {
+    const double seconds =
+        engine.machine().costs().ToSeconds(result.cycles);
+    std::printf("%s", FormatStatsSummary(stats, seconds).c_str());
+    const ArSymbolizer symbolizer = [&compiled](ArId ar) -> std::string {
+      if (ar == kInvalidAr || ar == 0 || ar > compiled.ar_infos.size()) {
+        return {};
+      }
+      const ArDebugInfo& info = compiled.ar_infos[ar - 1];
+      return info.variable + " in " + info.function + "()";
+    };
+    std::printf("%s", FormatViolationReport(engine.trace(), symbolizer).c_str());
+    if (options.verbose) {
+      for (const ViolationRecord& v : engine.trace().violations()) {
+        std::printf("  %s\n", ToString(v).c_str());
+      }
+    }
+  }
+  return result.deadlocked ? 1 : 0;
+}
+
+int TrainCommand(const CliOptions& options) {
+  const CompiledProgram compiled = CompileFile(options);
+  const Workload workload = MakeWorkload(options, compiled);
+  const EngineOptions engine_options = MakeEngineOptions(options);
+  if (!engine_options.kivati.has_value()) {
+    Fail("train requires Kivati (drop --vanilla)");
+  }
+  TrainingOptions training;
+  training.machine = engine_options.machine;
+  training.kivati = *engine_options.kivati;
+  training.whitelist_sync_vars = engine_options.whitelist_sync_vars;
+  training.iterations = options.iterations;
+  const TrainingResult result = Train(workload, training);
+  std::printf("false positives per iteration:");
+  for (const std::size_t fp : result.false_positives) {
+    std::printf(" %zu", fp);
+  }
+  std::printf("\nwhitelist: %zu AR(s)\n", result.whitelist.size());
+  if (!options.save_whitelist_path.empty()) {
+    if (!result.whitelist.SaveToFile(options.save_whitelist_path)) {
+      Fail("cannot write '" + options.save_whitelist_path + "'");
+    }
+    std::printf("saved to %s\n", options.save_whitelist_path.c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  const CliOptions options = ParseArgs(argc, argv);
+  try {
+    if (options.command == "annotate") {
+      return Annotate(options);
+    }
+    if (options.command == "run") {
+      return Run(options);
+    }
+    if (options.command == "train") {
+      return TrainCommand(options);
+    }
+  } catch (const std::exception& e) {
+    Fail(e.what());
+  }
+  Fail("unknown command '" + options.command + "'");
+}
+
+}  // namespace
+}  // namespace kivati
+
+int main(int argc, char** argv) { return kivati::Main(argc, argv); }
