@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_annotator.dir/ablation_annotator.cc.o"
+  "CMakeFiles/ablation_annotator.dir/ablation_annotator.cc.o.d"
+  "ablation_annotator"
+  "ablation_annotator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_annotator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trap_semantics.dir/ablation_trap_semantics.cc.o"
+  "CMakeFiles/ablation_trap_semantics.dir/ablation_trap_semantics.cc.o.d"
+  "ablation_trap_semantics"
+  "ablation_trap_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trap_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_training.dir/fig7_training.cc.o"
+  "CMakeFiles/fig7_training.dir/fig7_training.cc.o.d"
+  "fig7_training"
+  "fig7_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/kivati_bench_common.dir/bench_common.cc.o.d"
+  "libkivati_bench_common.a"
+  "libkivati_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkivati_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_crossings.dir/table4_crossings.cc.o"
+  "CMakeFiles/table4_crossings.dir/table4_crossings.cc.o.d"
+  "table4_crossings"
+  "table4_crossings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_crossings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

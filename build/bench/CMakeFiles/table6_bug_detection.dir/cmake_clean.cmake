@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_bug_detection.dir/table6_bug_detection.cc.o"
+  "CMakeFiles/table6_bug_detection.dir/table6_bug_detection.cc.o.d"
+  "table6_bug_detection"
+  "table6_bug_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_bug_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

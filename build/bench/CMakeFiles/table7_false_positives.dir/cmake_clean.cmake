@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_false_positives.dir/table7_false_positives.cc.o"
+  "CMakeFiles/table7_false_positives.dir/table7_false_positives.cc.o.d"
+  "table7_false_positives"
+  "table7_false_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

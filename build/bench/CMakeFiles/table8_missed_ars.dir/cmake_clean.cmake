@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_missed_ars.dir/table8_missed_ars.cc.o"
+  "CMakeFiles/table8_missed_ars.dir/table8_missed_ars.cc.o.d"
+  "table8_missed_ars"
+  "table8_missed_ars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_missed_ars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_wp_sweep.dir/table9_wp_sweep.cc.o"
+  "CMakeFiles/table9_wp_sweep.dir/table9_wp_sweep.cc.o.d"
+  "table9_wp_sweep"
+  "table9_wp_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_wp_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

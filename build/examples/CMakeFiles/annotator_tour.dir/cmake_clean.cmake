@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotator_tour.dir/annotator_tour.cpp.o"
+  "CMakeFiles/annotator_tour.dir/annotator_tour.cpp.o.d"
+  "annotator_tour"
+  "annotator_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotator_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

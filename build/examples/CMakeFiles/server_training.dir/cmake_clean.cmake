@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_training.dir/server_training.cpp.o"
+  "CMakeFiles/server_training.dir/server_training.cpp.o.d"
+  "server_training"
+  "server_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("mem")
+subdirs("isa")
+subdirs("hw")
+subdirs("trace")
+subdirs("sched")
+subdirs("kernel")
+subdirs("runtime")
+subdirs("core")
+subdirs("lang")
+subdirs("analysis")
+subdirs("compile")
+subdirs("apps")

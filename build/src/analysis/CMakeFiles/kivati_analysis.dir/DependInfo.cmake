@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/atomic_regions.cc" "src/analysis/CMakeFiles/kivati_analysis.dir/atomic_regions.cc.o" "gcc" "src/analysis/CMakeFiles/kivati_analysis.dir/atomic_regions.cc.o.d"
+  "/root/repo/src/analysis/lsv.cc" "src/analysis/CMakeFiles/kivati_analysis.dir/lsv.cc.o" "gcc" "src/analysis/CMakeFiles/kivati_analysis.dir/lsv.cc.o.d"
+  "/root/repo/src/analysis/mir.cc" "src/analysis/CMakeFiles/kivati_analysis.dir/mir.cc.o" "gcc" "src/analysis/CMakeFiles/kivati_analysis.dir/mir.cc.o.d"
+  "/root/repo/src/analysis/mir_builder.cc" "src/analysis/CMakeFiles/kivati_analysis.dir/mir_builder.cc.o" "gcc" "src/analysis/CMakeFiles/kivati_analysis.dir/mir_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/kivati_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kivati_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kivati_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

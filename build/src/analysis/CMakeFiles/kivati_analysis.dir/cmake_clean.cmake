@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_analysis.dir/atomic_regions.cc.o"
+  "CMakeFiles/kivati_analysis.dir/atomic_regions.cc.o.d"
+  "CMakeFiles/kivati_analysis.dir/lsv.cc.o"
+  "CMakeFiles/kivati_analysis.dir/lsv.cc.o.d"
+  "CMakeFiles/kivati_analysis.dir/mir.cc.o"
+  "CMakeFiles/kivati_analysis.dir/mir.cc.o.d"
+  "CMakeFiles/kivati_analysis.dir/mir_builder.cc.o"
+  "CMakeFiles/kivati_analysis.dir/mir_builder.cc.o.d"
+  "libkivati_analysis.a"
+  "libkivati_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

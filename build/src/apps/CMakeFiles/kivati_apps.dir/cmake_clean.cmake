@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_apps.dir/bugs.cc.o"
+  "CMakeFiles/kivati_apps.dir/bugs.cc.o.d"
+  "CMakeFiles/kivati_apps.dir/common.cc.o"
+  "CMakeFiles/kivati_apps.dir/common.cc.o.d"
+  "CMakeFiles/kivati_apps.dir/nss.cc.o"
+  "CMakeFiles/kivati_apps.dir/nss.cc.o.d"
+  "CMakeFiles/kivati_apps.dir/specomp.cc.o"
+  "CMakeFiles/kivati_apps.dir/specomp.cc.o.d"
+  "CMakeFiles/kivati_apps.dir/tpcw.cc.o"
+  "CMakeFiles/kivati_apps.dir/tpcw.cc.o.d"
+  "CMakeFiles/kivati_apps.dir/vlc.cc.o"
+  "CMakeFiles/kivati_apps.dir/vlc.cc.o.d"
+  "CMakeFiles/kivati_apps.dir/webstone.cc.o"
+  "CMakeFiles/kivati_apps.dir/webstone.cc.o.d"
+  "libkivati_apps.a"
+  "libkivati_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

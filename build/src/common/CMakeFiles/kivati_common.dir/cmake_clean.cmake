@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_common.dir/log.cc.o"
+  "CMakeFiles/kivati_common.dir/log.cc.o.d"
+  "CMakeFiles/kivati_common.dir/rng.cc.o"
+  "CMakeFiles/kivati_common.dir/rng.cc.o.d"
+  "libkivati_common.a"
+  "libkivati_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

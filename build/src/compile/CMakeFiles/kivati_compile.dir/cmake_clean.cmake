@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_compile.dir/codegen.cc.o"
+  "CMakeFiles/kivati_compile.dir/codegen.cc.o.d"
+  "CMakeFiles/kivati_compile.dir/compiler.cc.o"
+  "CMakeFiles/kivati_compile.dir/compiler.cc.o.d"
+  "libkivati_compile.a"
+  "libkivati_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_core.dir/engine.cc.o"
+  "CMakeFiles/kivati_core.dir/engine.cc.o.d"
+  "CMakeFiles/kivati_core.dir/trainer.cc.o"
+  "CMakeFiles/kivati_core.dir/trainer.cc.o.d"
+  "libkivati_core.a"
+  "libkivati_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_hw.dir/debug_registers.cc.o"
+  "CMakeFiles/kivati_hw.dir/debug_registers.cc.o.d"
+  "libkivati_hw.a"
+  "libkivati_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_isa.dir/disasm.cc.o"
+  "CMakeFiles/kivati_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/kivati_isa.dir/instruction.cc.o"
+  "CMakeFiles/kivati_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/kivati_isa.dir/program.cc.o"
+  "CMakeFiles/kivati_isa.dir/program.cc.o.d"
+  "CMakeFiles/kivati_isa.dir/rollback_table.cc.o"
+  "CMakeFiles/kivati_isa.dir/rollback_table.cc.o.d"
+  "libkivati_isa.a"
+  "libkivati_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_kernel.dir/kivati_kernel.cc.o"
+  "CMakeFiles/kivati_kernel.dir/kivati_kernel.cc.o.d"
+  "libkivati_kernel.a"
+  "libkivati_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

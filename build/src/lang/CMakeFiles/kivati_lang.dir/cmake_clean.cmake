@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_lang.dir/lexer.cc.o"
+  "CMakeFiles/kivati_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/kivati_lang.dir/parser.cc.o"
+  "CMakeFiles/kivati_lang.dir/parser.cc.o.d"
+  "libkivati_lang.a"
+  "libkivati_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_mem.dir/address_space.cc.o"
+  "CMakeFiles/kivati_mem.dir/address_space.cc.o.d"
+  "libkivati_mem.a"
+  "libkivati_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_runtime.dir/kivati_runtime.cc.o"
+  "CMakeFiles/kivati_runtime.dir/kivati_runtime.cc.o.d"
+  "CMakeFiles/kivati_runtime.dir/whitelist.cc.o"
+  "CMakeFiles/kivati_runtime.dir/whitelist.cc.o.d"
+  "libkivati_runtime.a"
+  "libkivati_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

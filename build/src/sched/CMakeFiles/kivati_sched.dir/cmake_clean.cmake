@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_sched.dir/machine.cc.o"
+  "CMakeFiles/kivati_sched.dir/machine.cc.o.d"
+  "libkivati_sched.a"
+  "libkivati_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

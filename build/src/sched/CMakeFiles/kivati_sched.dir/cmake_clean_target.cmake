@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkivati_sched.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati_trace.dir/report.cc.o"
+  "CMakeFiles/kivati_trace.dir/report.cc.o.d"
+  "CMakeFiles/kivati_trace.dir/trace.cc.o"
+  "CMakeFiles/kivati_trace.dir/trace.cc.o.d"
+  "libkivati_trace.a"
+  "libkivati_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

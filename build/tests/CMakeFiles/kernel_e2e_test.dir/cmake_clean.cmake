@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_e2e_test.dir/kernel_e2e_test.cc.o"
+  "CMakeFiles/kernel_e2e_test.dir/kernel_e2e_test.cc.o.d"
+  "kernel_e2e_test"
+  "kernel_e2e_test.pdb"
+  "kernel_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_sync_test.dir/kernel_sync_test.cc.o"
+  "CMakeFiles/kernel_sync_test.dir/kernel_sync_test.cc.o.d"
+  "kernel_sync_test"
+  "kernel_sync_test.pdb"
+  "kernel_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/machine_test.cc" "tests/CMakeFiles/machine_test.dir/machine_test.cc.o" "gcc" "tests/CMakeFiles/machine_test.dir/machine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kivati_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compile/CMakeFiles/kivati_compile.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/kivati_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/kivati_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/kivati_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/kivati_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/kivati_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/kivati_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/kivati_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/kivati_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/kivati_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kivati_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

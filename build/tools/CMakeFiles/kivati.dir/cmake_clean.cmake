@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kivati.dir/kivati_cli.cc.o"
+  "CMakeFiles/kivati.dir/kivati_cli.cc.o.d"
+  "kivati"
+  "kivati.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kivati.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
