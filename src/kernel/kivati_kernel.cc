@@ -77,6 +77,13 @@ void KivatiKernel::ArmSlot(unsigned slot, Addr addr, unsigned size, WatchType wa
     WriteHardwareImage(core);
   }
   ApplyImageToCore(machine_.executing_core());
+  if (events().Wants(EventKind::kWatchpointArm)) {
+    events().Emit({.when = machine_.now(),
+                   .kind = EventKind::kWatchpointArm,
+                   .addr = addr,
+                   .slot = static_cast<std::int32_t>(slot),
+                   .detail = static_cast<std::uint32_t>(watch)});
+  }
 }
 
 void KivatiKernel::DisarmSlot(unsigned slot) {
@@ -85,6 +92,12 @@ void KivatiKernel::DisarmSlot(unsigned slot) {
     WriteHardwareImage(core);
   }
   ApplyImageToCore(machine_.executing_core());
+  if (events().Wants(EventKind::kWatchpointDisarm)) {
+    events().Emit({.when = machine_.now(),
+                   .kind = EventKind::kWatchpointDisarm,
+                   .addr = wps_[slot].addr,
+                   .slot = static_cast<std::int32_t>(slot)});
+  }
 }
 
 void KivatiKernel::ApplyImageToCore(CoreId core) {
@@ -141,6 +154,14 @@ void KivatiKernel::CheckSyncWaiters() {
         }
       }
       machine_.UnblockSyncThread(it->tid);
+      const Cycles stalled = machine_.now() - it->blocked_at;
+      stats().sync_stall.Record(stalled);
+      if (events().Wants(EventKind::kSyncStall)) {
+        events().Emit({.when = machine_.now(),
+                       .kind = EventKind::kSyncStall,
+                       .thread = it->tid,
+                       .duration = stalled});
+      }
       it = sync_waiters_.erase(it);
     } else {
       ++it;
@@ -161,7 +182,7 @@ void KivatiKernel::BlockForSyncIfNeeded(ThreadId tid) {
     return;
   }
   machine_.BlockThreadForSync(tid);
-  sync_waiters_.push_back(SyncWaiter{tid, gen});
+  sync_waiters_.push_back(SyncWaiter{tid, gen, machine_.now()});
 }
 
 void KivatiKernel::SyncCore(CoreId core) {
@@ -447,6 +468,7 @@ PathTaken KivatiKernel::EndAtomicImpl(ThreadId tid, ArId ar_id, AccessType secon
 
   WatchpointMeta& wp = wps_[slot];
   const ArInstance ar = wp.ars[index];
+  stats().ar_duration.Record(machine_.now() - ar.begin_at);
   if (!from_clear) {
     EvaluateViolations(wp, ar, second, machine_.current_instruction_pc());
   }
@@ -588,6 +610,13 @@ bool KivatiKernel::UndoRemoteAccess(ThreadId tid, WatchpointMeta& wp, const MemA
       guard.size = 8;
       guard.watch = WatchType::kReadWrite;
       ArmSlot(*guard_slot, guard.addr, guard.size, guard.watch);
+      if (events().Wants(EventKind::kGuardArm)) {
+        events().Emit({.when = machine_.now(),
+                       .kind = EventKind::kGuardArm,
+                       .thread = tid,
+                       .addr = guard.addr,
+                       .slot = static_cast<std::int32_t>(*guard_slot)});
+      }
     }
   }
 
@@ -618,6 +647,14 @@ bool KivatiKernel::UndoRemoteAccess(ThreadId tid, WatchpointMeta& wp, const MemA
   machine_.SetThreadPc(tid, *ipc);
   KIVATI_LOG(kDebug) << "undo: t" << tid << " " << ToString(instr.op) << "@0x" << std::hex
                      << *ipc << " on 0x" << wp.addr << std::dec << " at " << machine_.now();
+  if (events().Wants(EventKind::kUndo)) {
+    events().Emit({.when = machine_.now(),
+                   .kind = EventKind::kUndo,
+                   .thread = tid,
+                   .addr = wp.addr,
+                   .pc = *ipc,
+                   .detail = static_cast<std::uint32_t>(access.type)});
+  }
   return true;
 }
 
@@ -635,7 +672,7 @@ void KivatiKernel::RefreshRecordedValues(WatchpointMeta& wp) {
 }
 
 void KivatiKernel::SuspendRemote(ThreadId tid, unsigned slot, SuspendReason reason) {
-  wps_[slot].suspended.push_back(SuspendedThread{tid, reason});
+  wps_[slot].suspended.push_back(SuspendedThread{tid, reason, machine_.now()});
   // Anchor the timeout at the first suspension of this particular access
   // (identified by the rolled-back PC): early wakeups followed by
   // re-suspension must not restart the clock.
@@ -649,6 +686,15 @@ void KivatiKernel::SuspendRemote(ThreadId tid, unsigned slot, SuspendReason reas
   KIVATI_LOG(kDebug) << "suspend: t" << tid << " pc=0x" << std::hex << pc << std::dec
                      << " reason=" << static_cast<int>(reason) << " at " << machine_.now();
   ++stats().remote_suspensions;
+  if (events().Wants(EventKind::kSuspend)) {
+    events().Emit({.when = machine_.now(),
+                   .kind = EventKind::kSuspend,
+                   .thread = tid,
+                   .addr = wps_[slot].addr,
+                   .pc = pc,
+                   .slot = static_cast<std::int32_t>(slot),
+                   .detail = static_cast<std::uint32_t>(reason)});
+  }
 }
 
 bool KivatiKernel::HandleTrap(ThreadId tid, CoreId core, unsigned slot, const MemAccess& access,
@@ -672,11 +718,22 @@ bool KivatiKernel::HandleTrap(ThreadId tid, CoreId core, unsigned slot, const Me
     return false;
   }
 
+  if (events().Wants(EventKind::kTrap)) {
+    events().Emit({.when = machine_.now(),
+                   .kind = EventKind::kTrap,
+                   .thread = tid,
+                   .addr = access.addr,
+                   .pc = trap_pc,
+                   .slot = static_cast<std::int32_t>(slot),
+                   .detail = static_cast<std::uint32_t>(access.type)});
+  }
+
   if (wp.guard) {
     if (tid == wp.guard_for) {
       if (access.type == AccessType::kWrite) {
         // The undone instruction re-executed and overwrote the leaked value;
         // the guard has served its purpose.
+        EmitGuardRelease(wp, slot);
         DisarmSlot(slot);
         WakeAllSuspended(wp);
         wp = WatchpointMeta{};
@@ -783,6 +840,16 @@ bool KivatiKernel::HandleTrap(ThreadId tid, CoreId core, unsigned slot, const Me
   return false;
 }
 
+void KivatiKernel::EmitGuardRelease(const WatchpointMeta& wp, unsigned slot) {
+  if (events().Wants(EventKind::kGuardRelease)) {
+    events().Emit({.when = machine_.now(),
+                   .kind = EventKind::kGuardRelease,
+                   .thread = wp.guard_for,
+                   .addr = wp.addr,
+                   .slot = static_cast<std::int32_t>(slot)});
+  }
+}
+
 void KivatiKernel::WakeAllSuspended(WatchpointMeta& wp) {
   // Preferential wakeup: threads parked by watchpoint traps run before
   // threads parked at their own begin_atomic (paper §3.3).
@@ -796,6 +863,17 @@ void KivatiKernel::WakeAllSuspended(WatchpointMeta& wp) {
       machine_.ResumeThread(s.tid);
     }
   }
+  for (const SuspendedThread& s : wp.suspended) {
+    const Cycles latency = machine_.now() - s.since;
+    stats().suspension_latency.Record(latency);
+    if (events().Wants(EventKind::kWake)) {
+      events().Emit({.when = machine_.now(),
+                     .kind = EventKind::kWake,
+                     .thread = s.tid,
+                     .detail = static_cast<std::uint32_t>(s.reason),
+                     .duration = latency});
+    }
+  }
   wp.suspended.clear();
 }
 
@@ -803,6 +881,12 @@ void KivatiKernel::HandleSuspensionTimeout(ThreadId tid) {
   KIVATI_LOG(kDebug) << "timeout: t" << tid << " pc=0x" << std::hex << machine_.thread(tid).pc
                      << std::dec << " at " << machine_.now();
   ++stats().suspension_timeouts;
+  if (events().Wants(EventKind::kSuspensionTimeout)) {
+    events().Emit({.when = machine_.now(),
+                   .kind = EventKind::kSuspensionTimeout,
+                   .thread = tid,
+                   .pc = machine_.thread(tid).pc});
+  }
   // The paper resumes the thread "regardless of whether the AR has
   // completed or not": its pending access must actually complete, so its
   // next conflict is waved through (one shot).
@@ -816,6 +900,7 @@ void KivatiKernel::HandleSuspensionTimeout(ThreadId tid) {
     }
     if (wp.guard) {
       // Guard timed out: release everyone and drop the guard.
+      EmitGuardRelease(wp, slot);
       DisarmSlot(slot);
       WakeAllSuspended(wp);
       wp = WatchpointMeta{};
@@ -847,6 +932,7 @@ void KivatiKernel::HandleThreadExit(ThreadId tid) {
   for (unsigned slot = 0; slot < wps_.size(); ++slot) {
     WatchpointMeta& wp = wps_[slot];
     if (wp.guard && wp.guard_for == tid) {
+      EmitGuardRelease(wp, slot);
       DisarmSlot(slot);
       WakeAllSuspended(wp);
       wp = WatchpointMeta{};
@@ -933,6 +1019,15 @@ void KivatiKernel::LogViolation(const ArInstance& ar, Addr addr, unsigned size,
   ++stats().violations_detected;
   if (record.prevented) {
     ++stats().violations_prevented;
+  }
+  if (events().Wants(EventKind::kViolation)) {
+    events().Emit({.when = machine_.now(),
+                   .kind = EventKind::kViolation,
+                   .thread = ar.owner,
+                   .ar = ar.id,
+                   .addr = addr,
+                   .pc = second_pc,
+                   .detail = record.prevented ? 1u : 0u});
   }
   KIVATI_LOG(kInfo) << ToString(record);
 }

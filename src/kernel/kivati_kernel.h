@@ -69,6 +69,7 @@ struct ArInstance {
 struct SuspendedThread {
   ThreadId tid = kInvalidThread;
   SuspendReason reason = SuspendReason::kTrap;
+  Cycles since = 0;  // when the suspension began (latency histogram)
 };
 
 // Metadata for one (system-wide) watchpoint register.
@@ -155,6 +156,7 @@ class KivatiKernel {
   void EndPausesOnWatchpoint(const WatchpointMeta& wp);
 
   RuntimeStats& stats() { return machine_.trace().stats(); }
+  EventLog& events() { return machine_.trace().events(); }
   Cycles TimeoutAt() const {
     return machine_.now() + machine_.costs().FromMs(config_.suspension_timeout_ms);
   }
@@ -209,6 +211,8 @@ class KivatiKernel {
   void RefreshRecordedValues(WatchpointMeta& wp);
   void RemoveArFromThreadTable(ThreadId owner, ArId ar);
   void WakeAllSuspended(WatchpointMeta& wp);
+  // Emits the guard-release event for `wp` (a guard watchpoint) in `slot`.
+  void EmitGuardRelease(const WatchpointMeta& wp, unsigned slot);
 
   // Evaluates the triggers of `wp` against the completed AR `ar` whose
   // second access type is `second`; logs violations.
@@ -228,6 +232,7 @@ class KivatiKernel {
   struct SyncWaiter {
     ThreadId tid = kInvalidThread;
     std::uint64_t generation = 0;
+    Cycles blocked_at = 0;  // when the stall began (sync-stall histogram)
   };
   std::vector<SyncWaiter> sync_waiters_;
 

@@ -42,50 +42,80 @@ void KivatiRuntime::Account(PathTaken path, std::uint64_t& crossing_counter,
   ++crossing_counter;
 }
 
+void KivatiRuntime::EmitAnnotationEvent(EventKind kind, ThreadId thread, ArId ar,
+                                        Addr addr, PathTaken path) {
+  EventLog& log = machine_.trace().events();
+  if (!log.Wants(kind)) {
+    return;
+  }
+  log.Emit({.when = machine_.now(),
+            .kind = kind,
+            .thread = thread,
+            .ar = ar,
+            .addr = addr,
+            .pc = machine_.current_instruction_pc(),
+            .detail = static_cast<std::uint32_t>(path)});
+}
+
 void KivatiRuntime::OnBeginAtomic(ThreadId thread, const Instruction& instr, Addr ea) {
   ++stats().begin_atomic_calls;
   if (whitelist_.Contains(instr.ar_id)) {
     // Whitelist hits return from user space before any metadata work, in
-    // every configuration (paper §3.2).
+    // every configuration (paper §3.2). One whitelisted AR *execution* is
+    // one begin/end pair; count it once, at the begin.
     ++stats().ars_whitelisted;
     machine_.ChargeExtra(machine_.costs().fast_path);
+    EmitAnnotationEvent(EventKind::kBeginAtomic, thread, instr.ar_id, ea,
+                        PathTaken::kWhitelisted);
     return;
   }
   if (config_.null_syscall) {
     // Table 3's "Null syscall" diagnostic: enter the kernel, do nothing.
     machine_.ChargeExtra(machine_.costs().kernel_crossing);
     ++stats().kernel_entries_begin;
+    EmitAnnotationEvent(EventKind::kBeginAtomic, thread, instr.ar_id, ea, PathTaken::kKernel);
     return;
   }
   const PathTaken path = kernel_.BeginAtomic(thread, instr, ea, config_.opt_fast_path);
   Account(path, stats().kernel_entries_begin, stats().fast_path_begin);
+  EmitAnnotationEvent(EventKind::kBeginAtomic, thread, instr.ar_id, ea, path);
 }
 
 void KivatiRuntime::OnEndAtomic(ThreadId thread, const Instruction& instr) {
   ++stats().end_atomic_calls;
   if (whitelist_.Contains(instr.ar_id)) {
-    ++stats().ars_whitelisted;
+    // Already counted in ars_whitelisted at the begin.
     machine_.ChargeExtra(machine_.costs().fast_path);
+    EmitAnnotationEvent(EventKind::kEndAtomic, thread, instr.ar_id, kInvalidAddr,
+                        PathTaken::kWhitelisted);
     return;
   }
   if (config_.null_syscall) {
     machine_.ChargeExtra(machine_.costs().kernel_crossing);
     ++stats().kernel_entries_end;
+    EmitAnnotationEvent(EventKind::kEndAtomic, thread, instr.ar_id, kInvalidAddr,
+                        PathTaken::kKernel);
     return;
   }
   const PathTaken path = kernel_.EndAtomic(thread, instr);
   Account(path, stats().kernel_entries_end, stats().fast_path_end);
+  EmitAnnotationEvent(EventKind::kEndAtomic, thread, instr.ar_id, kInvalidAddr, path);
 }
 
 void KivatiRuntime::OnClearAr(ThreadId thread, std::uint32_t call_depth) {
   ++stats().clear_ar_calls;
   if (config_.null_syscall) {
     machine_.ChargeExtra(machine_.costs().kernel_crossing);
-    ++stats().kernel_entries_end;
+    ++stats().kernel_entries_clear;
+    EmitAnnotationEvent(EventKind::kClearAr, thread, kInvalidAr, kInvalidAddr,
+                        PathTaken::kKernel);
     return;
   }
   const PathTaken path = kernel_.ClearAr(thread, call_depth);
-  Account(path, stats().kernel_entries_end, stats().fast_path_end);
+  // clear_ar crossings get their own counters; folding them into the end
+  // counters misattributed Table 4's crossing breakdown.
+  Account(path, stats().kernel_entries_clear, stats().fast_path_clear);
+  EmitAnnotationEvent(EventKind::kClearAr, thread, kInvalidAr, kInvalidAddr, path);
 }
 
 bool KivatiRuntime::OnWatchpointTrap(ThreadId thread, CoreId core, unsigned slot,

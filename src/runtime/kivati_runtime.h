@@ -43,6 +43,8 @@ class KivatiRuntime : public KivatiHooks {
   void MaybeRereadWhitelist();
   // Charges for an annotation that took `path`, and counts the crossing.
   void Account(PathTaken path, std::uint64_t& crossing_counter, std::uint64_t& fast_counter);
+  // Emits a begin/end/clear annotation event carrying the path taken.
+  void EmitAnnotationEvent(EventKind kind, ThreadId thread, ArId ar, Addr addr, PathTaken path);
 
   Machine& machine_;
   KivatiConfig config_;

@@ -1,14 +1,34 @@
 #include "runtime/whitelist.h"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "common/log.h"
+
 namespace kivati {
 
+std::size_t Whitelist::size() const {
+  std::size_t extra = 0;
+  for (const ArId ar : file_) {
+    if (!base_.contains(ar)) {
+      ++extra;
+    }
+  }
+  return base_.size() + extra;
+}
+
+std::unordered_set<ArId> Whitelist::ids() const {
+  std::unordered_set<ArId> all = base_;
+  all.insert(file_.begin(), file_.end());
+  return all;
+}
+
 void Whitelist::Merge(const Whitelist& other) {
-  ids_.insert(other.ids_.begin(), other.ids_.end());
+  base_.insert(other.base_.begin(), other.base_.end());
+  base_.insert(other.file_.begin(), other.file_.end());
 }
 
 bool Whitelist::LoadFromFile(const std::string& path) {
@@ -18,7 +38,7 @@ bool Whitelist::LoadFromFile(const std::string& path) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  Merge(Parse(buffer.str()));
+  file_ = ParseIds(buffer.str());
   return true;
 }
 
@@ -31,8 +51,8 @@ bool Whitelist::SaveToFile(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
-Whitelist Whitelist::Parse(const std::string& text) {
-  Whitelist result;
+std::unordered_set<ArId> Whitelist::ParseIds(const std::string& text) {
+  std::unordered_set<ArId> ids;
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
@@ -47,18 +67,30 @@ Whitelist Whitelist::Parse(const std::string& text) {
     }
     const auto end = line.find_last_not_of(" \t\r");
     const std::string token = line.substr(begin, end - begin + 1);
-    try {
-      result.ids_.insert(static_cast<ArId>(std::stoul(token)));
-    } catch (...) {
-      // Malformed lines are skipped; the paper's runtime must tolerate
-      // partially written files during periodic re-reads.
+    // Full-token validation: std::stoul would accept "-1" (wrapping to a
+    // huge id) and "12abc" (silently dropping the tail); from_chars on an
+    // unsigned type rejects signs and lets us insist the token is consumed
+    // entirely.
+    ArId value = 0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) {
+      KIVATI_LOG(kWarning) << "whitelist: skipping malformed token '" << token << "'";
+      continue;
     }
+    ids.insert(value);
   }
+  return ids;
+}
+
+Whitelist Whitelist::Parse(const std::string& text) {
+  Whitelist result;
+  result.base_ = ParseIds(text);
   return result;
 }
 
 std::string Whitelist::Serialize() const {
-  std::vector<ArId> sorted(ids_.begin(), ids_.end());
+  const std::unordered_set<ArId> all = ids();
+  std::vector<ArId> sorted(all.begin(), all.end());
   std::sort(sorted.begin(), sorted.end());
   std::ostringstream out;
   out << "# Kivati AR whitelist: one atomic-region id per line\n";

@@ -5,6 +5,12 @@
 // the kernel. The paper populates it from two sources: manually identified
 // synchronization variables (optimization 4) and training runs (§4.2). The
 // file format is one AR id per line; '#' starts a comment.
+//
+// Two origins are tracked separately so the paper's "push updated whitelists
+// to running processes" works in both directions: ids injected
+// programmatically (Add/Merge/constructor) are permanent, while the
+// file-derived subset is *replaced* on every LoadFromFile — deleting a line
+// from the file takes effect at the next periodic re-read.
 #ifndef KIVATI_RUNTIME_WHITELIST_H_
 #define KIVATI_RUNTIME_WHITELIST_H_
 
@@ -18,29 +24,43 @@ namespace kivati {
 class Whitelist {
  public:
   Whitelist() = default;
-  explicit Whitelist(std::unordered_set<ArId> ids) : ids_(std::move(ids)) {}
+  explicit Whitelist(std::unordered_set<ArId> ids) : base_(std::move(ids)) {}
 
-  bool Contains(ArId ar) const { return ids_.contains(ar); }
-  void Add(ArId ar) { ids_.insert(ar); }
-  void Remove(ArId ar) { ids_.erase(ar); }
-  std::size_t size() const { return ids_.size(); }
-  const std::unordered_set<ArId>& ids() const { return ids_; }
+  bool Contains(ArId ar) const { return base_.contains(ar) || file_.contains(ar); }
+  void Add(ArId ar) { base_.insert(ar); }
+  void Remove(ArId ar) {
+    base_.erase(ar);
+    file_.erase(ar);
+  }
+  std::size_t size() const;
 
-  // Merges every id from `other`.
+  // The union of programmatic and file-derived ids.
+  std::unordered_set<ArId> ids() const;
+
+  // Merges every id from `other` into the programmatic set.
   void Merge(const Whitelist& other);
 
-  // Loads/saves the on-disk format. Load merges into the current set (the
-  // paper re-reads the file periodically to pick up developer updates).
-  // Returns false on I/O failure.
+  // Loads the on-disk format, REPLACING the file-derived subset (so the
+  // periodic re-read propagates deletions) while preserving programmatic
+  // ids. Returns false on I/O failure, leaving the previous contents intact
+  // — a transiently unreadable file must not strip a running process of its
+  // whitelist.
   bool LoadFromFile(const std::string& path);
   bool SaveToFile(const std::string& path) const;
 
-  // Parses the text format (for tests and in-memory use).
+  // Parses the text format into programmatic ids (for tests and in-memory
+  // use). Tokens must be whole unsigned decimal numbers; anything else
+  // ("-1", "12abc", overflow) is skipped with a warning, so partially
+  // written files during periodic re-reads stay tolerated without silently
+  // admitting garbage.
   static Whitelist Parse(const std::string& text);
   std::string Serialize() const;
 
  private:
-  std::unordered_set<ArId> ids_;
+  static std::unordered_set<ArId> ParseIds(const std::string& text);
+
+  std::unordered_set<ArId> base_;  // Add/Merge/constructor — survives reloads
+  std::unordered_set<ArId> file_;  // last LoadFromFile — replaced wholesale
 };
 
 }  // namespace kivati

@@ -185,6 +185,13 @@ void Machine::Reschedule(CoreId core, bool timer_interrupt) {
     if (!timer_interrupt) {
       c.clock += config_.costs.context_switch;
     }
+    if (trace_.events().Wants(EventKind::kContextSwitch)) {
+      trace_.events().Emit({.when = now_,
+                            .kind = EventKind::kContextSwitch,
+                            .thread = next,
+                            .slot = static_cast<std::int32_t>(core),
+                            .detail = static_cast<std::uint32_t>(prev)});
+    }
     if (hooks_ != nullptr) {
       hooks_->OnContextSwitch(core, prev, next);
     }

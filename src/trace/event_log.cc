@@ -1,0 +1,203 @@
+#include "trace/event_log.h"
+
+#include <sstream>
+
+namespace kivati {
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {EventKind::kBeginAtomic, "begin_atomic"},
+    {EventKind::kEndAtomic, "end_atomic"},
+    {EventKind::kClearAr, "clear_ar"},
+    {EventKind::kWatchpointArm, "wp_arm"},
+    {EventKind::kWatchpointDisarm, "wp_disarm"},
+    {EventKind::kTrap, "trap"},
+    {EventKind::kSuspend, "suspend"},
+    {EventKind::kWake, "wake"},
+    {EventKind::kUndo, "undo"},
+    {EventKind::kGuardArm, "guard_arm"},
+    {EventKind::kGuardRelease, "guard_release"},
+    {EventKind::kSuspensionTimeout, "timeout"},
+    {EventKind::kSyncStall, "sync_stall"},
+    {EventKind::kViolation, "violation"},
+    {EventKind::kContextSwitch, "ctx_switch"},
+};
+static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) == kEventKindCount,
+              "every EventKind needs a name");
+
+void AppendJsonObject(std::ostringstream& out, const TraceEvent& e) {
+  out << "{\"t\":" << e.when << ",\"kind\":\"" << ToString(e.kind) << "\"";
+  if (e.thread != kInvalidThread) {
+    out << ",\"tid\":" << e.thread;
+  }
+  if (e.ar != kInvalidAr) {
+    out << ",\"ar\":" << e.ar;
+  }
+  if (e.addr != kInvalidAddr) {
+    out << ",\"addr\":" << e.addr;
+  }
+  if (e.pc != 0) {
+    out << ",\"pc\":" << e.pc;
+  }
+  if (e.slot >= 0) {
+    out << ",\"slot\":" << e.slot;
+  }
+  if (e.detail != 0) {
+    out << ",\"detail\":" << e.detail;
+  }
+  if (e.duration != 0) {
+    out << ",\"dur\":" << e.duration;
+  }
+  out << "}";
+}
+
+}  // namespace
+
+const char* ToString(EventKind kind) {
+  const unsigned index = static_cast<unsigned>(kind);
+  return index < kEventKindCount ? kKindNames[index].name : "?";
+}
+
+std::optional<EventKind> EventKindFromName(const std::string& name) {
+  for (const KindName& entry : kKindNames) {
+    if (name == entry.name) {
+      return entry.kind;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> ParseEventKindMask(const std::string& csv, std::string* error) {
+  if (csv.empty()) {
+    return kAllEventKinds;
+  }
+  std::uint32_t mask = 0;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) {
+      continue;
+    }
+    const auto kind = EventKindFromName(token);
+    if (!kind.has_value()) {
+      if (error != nullptr) {
+        *error = token;
+      }
+      return std::nullopt;
+    }
+    mask |= std::uint32_t{1} << static_cast<unsigned>(*kind);
+  }
+  return mask;
+}
+
+void EventLog::Enable(std::size_t capacity, std::uint32_t mask) {
+  enabled_ = capacity > 0;
+  mask_ = mask;
+  capacity_ = capacity;
+  head_ = 0;
+  emitted_ = 0;
+  ring_.clear();
+  ring_.reserve(capacity);
+}
+
+void EventLog::Disable() {
+  enabled_ = false;
+  capacity_ = 0;
+  head_ = 0;
+  emitted_ = 0;
+  ring_.clear();
+  ring_.shrink_to_fit();
+}
+
+void EventLog::Emit(const TraceEvent& event) {
+  if (!Wants(event.kind)) {
+    return;
+  }
+  ++emitted_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> EventLog::Snapshot() const {
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return events;
+}
+
+void EventLog::Clear() {
+  ring_.clear();
+  head_ = 0;
+  emitted_ = 0;
+}
+
+std::string EventLog::ToJsonl() const {
+  std::ostringstream out;
+  for (const TraceEvent& e : Snapshot()) {
+    AppendJsonObject(out, e);
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string EventLog::ToChromeTrace() const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const TraceEvent& e : Snapshot()) {
+    if (!first) {
+      out << ",\n ";
+    }
+    first = false;
+    const ThreadId tid = e.thread == kInvalidThread ? 0 : e.thread;
+    out << "{\"name\":\"" << ToString(e.kind) << "\",\"cat\":\"kivati\",\"pid\":0,\"tid\":" << tid;
+    if (e.duration != 0) {
+      // A measured span: the event is stamped at its end, so the slice
+      // starts `duration` earlier.
+      const Cycles start = e.when >= e.duration ? e.when - e.duration : 0;
+      out << ",\"ph\":\"X\",\"ts\":" << start << ",\"dur\":" << e.duration;
+    } else {
+      out << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << e.when;
+    }
+    out << ",\"args\":{";
+    bool first_arg = true;
+    auto arg = [&](const char* key, std::uint64_t value) {
+      if (!first_arg) {
+        out << ",";
+      }
+      first_arg = false;
+      out << "\"" << key << "\":" << value;
+    };
+    if (e.ar != kInvalidAr) {
+      arg("ar", e.ar);
+    }
+    if (e.addr != kInvalidAddr) {
+      arg("addr", e.addr);
+    }
+    if (e.pc != 0) {
+      arg("pc", e.pc);
+    }
+    if (e.slot >= 0) {
+      arg("slot", static_cast<std::uint64_t>(e.slot));
+    }
+    if (e.detail != 0) {
+      arg("detail", e.detail);
+    }
+    out << "}}";
+  }
+  out << "]\n";
+  return out.str();
+}
+
+}  // namespace kivati

@@ -84,10 +84,12 @@ std::string FormatStatsSummary(const RuntimeStats& stats, double virtual_seconds
   out << "annotations: " << stats.begin_atomic_calls << " begin, " << stats.end_atomic_calls
       << " end, " << stats.clear_ar_calls << " clear_ar\n";
   out << "kernel crossings: " << stats.kernel_entries_total() << rate(stats.kernel_entries_total())
-      << " — begin " << stats.kernel_entries_begin << ", end+clear " << stats.kernel_entries_end
-      << ", traps " << stats.kernel_entries_trap << "\n";
+      << " — begin " << stats.kernel_entries_begin << ", end " << stats.kernel_entries_end
+      << ", clear " << stats.kernel_entries_clear << ", traps " << stats.kernel_entries_trap
+      << "\n";
   out << "fast-path hits: " << stats.fast_path_begin << " begin, " << stats.fast_path_end
-      << " end; whitelist hits: " << stats.ars_whitelisted << "\n";
+      << " end, " << stats.fast_path_clear << " clear; whitelist hits: " << stats.ars_whitelisted
+      << "\n";
   out << "atomic regions: " << stats.ars_entered << " entered, " << stats.ars_missed
       << " missed (no free watchpoint)";
   if (stats.ars_entered > 0) {
@@ -108,6 +110,11 @@ std::string FormatStatsSummary(const RuntimeStats& stats, double virtual_seconds
     out << "; bug-finding pauses: " << stats.bugfinding_pauses;
   }
   out << "\n";
+  out << "suspension latency (cycles): " << FormatHistogram(stats.suspension_latency) << "\n";
+  out << "AR duration (cycles): " << FormatHistogram(stats.ar_duration) << "\n";
+  if (stats.sync_stall.count() > 0) {
+    out << "sync stall (cycles): " << FormatHistogram(stats.sync_stall) << "\n";
+  }
   return out.str();
 }
 

@@ -40,6 +40,7 @@ void Trace::Clear() {
   violations_.clear();
   marks_.clear();
   stats_ = RuntimeStats{};
+  events_.Clear();  // keeps the log's enablement and capacity
 }
 
 }  // namespace kivati

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "common/types.h"
+#include "trace/event_log.h"
+#include "trace/histogram.h"
 
 namespace kivati {
 
@@ -59,6 +61,7 @@ struct RuntimeStats {
   // Table 4 reports the sum of these in thousands per second.
   std::uint64_t kernel_entries_begin = 0;
   std::uint64_t kernel_entries_end = 0;
+  std::uint64_t kernel_entries_clear = 0;
   std::uint64_t kernel_entries_trap = 0;
 
   std::uint64_t watchpoint_traps = 0;       // remote accesses that trapped
@@ -79,9 +82,16 @@ struct RuntimeStats {
   // Kernel trips avoided by the user-space fast path (optimizations 1-2).
   std::uint64_t fast_path_begin = 0;
   std::uint64_t fast_path_end = 0;
+  std::uint64_t fast_path_clear = 0;
+
+  // Duration distributions (cycles). Always recorded: a histogram update is
+  // an array increment, far below the cost of the events being measured.
+  CycleHistogram suspension_latency;  // SuspendRemote -> wake
+  CycleHistogram ar_duration;         // begin_atomic -> end_atomic/clear_ar
+  CycleHistogram sync_stall;          // cross-core register-sync block
 
   std::uint64_t kernel_entries_total() const {
-    return kernel_entries_begin + kernel_entries_end + kernel_entries_trap;
+    return kernel_entries_begin + kernel_entries_end + kernel_entries_clear + kernel_entries_trap;
   }
 };
 
@@ -106,12 +116,17 @@ class Trace {
   RuntimeStats& stats() { return stats_; }
   const RuntimeStats& stats() const { return stats_; }
 
+  // Structured event stream (disabled unless EventLog::Enable was called).
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
+
   void Clear();
 
  private:
   std::vector<ViolationRecord> violations_;
   std::vector<MarkEvent> marks_;
   RuntimeStats stats_;
+  EventLog events_;
 };
 
 }  // namespace kivati

@@ -40,7 +40,11 @@ CommandResult RunCli(const std::string& args) {
 class CliTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "kivati_cli_test";
+    // Per-test directory: ctest runs the cases in parallel, and a shared
+    // directory would be torn down under a still-running sibling.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("kivati_cli_test_") + info->name());
     std::filesystem::create_directories(dir_);
     program_ = (dir_ / "prog.kv").string();
     std::ofstream out(program_);
@@ -116,6 +120,63 @@ TEST_F(CliTest, TrainProducesWhitelistThatSilencesRun) {
                                    "--preset base --seed 9 --whitelist " + whitelist);
   EXPECT_EQ(run.exit_code, 0);
   EXPECT_NE(run.output.find("no atomicity violations detected"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceOutWritesStructuredJsonl) {
+  const std::string trace = (dir_ / "run.jsonl").string();
+  const CommandResult result =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 "
+             "--trace-out=" + trace);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // The stats summary gains the derived histograms.
+  EXPECT_NE(result.output.find("suspension latency (cycles):"), std::string::npos);
+  EXPECT_NE(result.output.find("AR duration (cycles):"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(trace));
+
+  std::ifstream in(trace);
+  std::string line;
+  std::size_t lines = 0;
+  long long previous = -1;
+  bool saw_begin = false, saw_trap = false, saw_suspend = false, saw_violation = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    // One JSON object per line with a leading cycle stamp.
+    ASSERT_EQ(line.front(), '{') << line;
+    ASSERT_EQ(line.back(), '}') << line;
+    const std::string prefix = "{\"t\":";
+    ASSERT_EQ(line.rfind(prefix, 0), 0u) << line;
+    const long long t = std::stoll(line.substr(prefix.size()));
+    EXPECT_GE(t, previous) << "timestamps must be non-decreasing: " << line;
+    previous = t;
+    saw_begin = saw_begin || line.find("\"kind\":\"begin_atomic\"") != std::string::npos;
+    saw_trap = saw_trap || line.find("\"kind\":\"trap\"") != std::string::npos;
+    saw_suspend = saw_suspend || line.find("\"kind\":\"suspend\"") != std::string::npos;
+    saw_violation = saw_violation || line.find("\"kind\":\"violation\"") != std::string::npos;
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_trap);
+  EXPECT_TRUE(saw_suspend);
+  EXPECT_TRUE(saw_violation);
+}
+
+TEST_F(CliTest, TraceEventsFilterAndBadKindFails) {
+  const std::string trace = (dir_ / "filtered.jsonl").string();
+  const CommandResult result =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 "
+             "--trace-out=" + trace + " --trace-events=violation");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  std::ifstream in(trace);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("\"kind\":\"violation\""), std::string::npos) << line;
+  }
+
+  const CommandResult bad =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 "
+             "--trace-out=" + trace + " --trace-events=nosuchkind");
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_NE(bad.output.find("nosuchkind"), std::string::npos);
 }
 
 TEST_F(CliTest, UnknownFunctionFails) {

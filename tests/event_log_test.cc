@@ -1,0 +1,220 @@
+// Tests of the structured event log: ring eviction, kind filtering, the
+// export formats, and the cycle histograms feeding the stats summary.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/event_log.h"
+#include "trace/histogram.h"
+
+namespace kivati {
+namespace {
+
+TraceEvent MakeEvent(Cycles when, EventKind kind, ThreadId tid = 1) {
+  TraceEvent e;
+  e.when = when;
+  e.kind = kind;
+  e.thread = tid;
+  return e;
+}
+
+TEST(EventLogTest, DisabledByDefaultAndEmitIsANoOp) {
+  EventLog log;
+  EXPECT_FALSE(log.enabled());
+  EXPECT_FALSE(log.Wants(EventKind::kTrap));
+  log.Emit(MakeEvent(10, EventKind::kTrap));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.emitted(), 0u);
+  EXPECT_EQ(log.capacity(), 0u);
+}
+
+TEST(EventLogTest, RecordsInOrder) {
+  EventLog log;
+  log.Enable(8);
+  log.Emit(MakeEvent(1, EventKind::kBeginAtomic));
+  log.Emit(MakeEvent(2, EventKind::kTrap));
+  log.Emit(MakeEvent(3, EventKind::kEndAtomic));
+  const std::vector<TraceEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].when, 1u);
+  EXPECT_EQ(events[1].kind, EventKind::kTrap);
+  EXPECT_EQ(events[2].when, 3u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLogTest, RingEvictsOldestAtCapacity) {
+  EventLog log;
+  log.Enable(4);
+  for (Cycles t = 0; t < 10; ++t) {
+    log.Emit(MakeEvent(t, EventKind::kTrap));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.emitted(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const std::vector<TraceEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].when, 6u + i);
+  }
+}
+
+TEST(EventLogTest, MaskFiltersKinds) {
+  EventLog log;
+  std::string error;
+  const auto mask = ParseEventKindMask("trap,violation", &error);
+  ASSERT_TRUE(mask.has_value()) << error;
+  log.Enable(16, *mask);
+  EXPECT_TRUE(log.Wants(EventKind::kTrap));
+  EXPECT_TRUE(log.Wants(EventKind::kViolation));
+  EXPECT_FALSE(log.Wants(EventKind::kBeginAtomic));
+  log.Emit(MakeEvent(1, EventKind::kBeginAtomic));
+  log.Emit(MakeEvent(2, EventKind::kTrap));
+  log.Emit(MakeEvent(3, EventKind::kContextSwitch));
+  log.Emit(MakeEvent(4, EventKind::kViolation));
+  const std::vector<TraceEvent> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kTrap);
+  EXPECT_EQ(events[1].kind, EventKind::kViolation);
+}
+
+TEST(EventLogTest, ParseEventKindMaskRejectsUnknownNames) {
+  std::string error;
+  EXPECT_FALSE(ParseEventKindMask("trap,bogus", &error).has_value());
+  EXPECT_EQ(error, "bogus");
+  // Empty means everything.
+  EXPECT_EQ(ParseEventKindMask("", &error), kAllEventKinds);
+}
+
+TEST(EventLogTest, EveryKindHasARoundTrippingName) {
+  for (unsigned i = 0; i < kEventKindCount; ++i) {
+    const EventKind kind = static_cast<EventKind>(i);
+    const std::string name = ToString(kind);
+    EXPECT_NE(name, "?");
+    EXPECT_EQ(EventKindFromName(name), kind) << name;
+  }
+}
+
+TEST(EventLogTest, ClearKeepsEnablement) {
+  EventLog log;
+  log.Enable(4, ParseEventKindMask("trap").value());
+  log.Emit(MakeEvent(1, EventKind::kTrap));
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.emitted(), 0u);
+  EXPECT_TRUE(log.enabled());
+  log.Emit(MakeEvent(2, EventKind::kTrap));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EventLogTest, JsonlOmitsDefaultFieldsAndKeepsOrder) {
+  EventLog log;
+  log.Enable(8);
+  TraceEvent trap = MakeEvent(10, EventKind::kTrap, 2);
+  trap.addr = 0x10000;
+  trap.pc = 0x84;
+  trap.slot = 0;
+  trap.detail = 2;
+  log.Emit(trap);
+  TraceEvent sw;  // only when/kind meaningful
+  sw.when = 20;
+  sw.kind = EventKind::kContextSwitch;
+  log.Emit(sw);
+  const std::string jsonl = log.ToJsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            "{\"t\":10,\"kind\":\"trap\",\"tid\":2,\"addr\":65536,\"pc\":132,"
+            "\"slot\":0,\"detail\":2}");
+  ASSERT_TRUE(std::getline(lines, line));
+  // Invalid thread, ar, addr and zero pc/detail/duration are all omitted.
+  EXPECT_EQ(line, "{\"t\":20,\"kind\":\"ctx_switch\"}");
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(EventLogTest, ChromeTraceUsesSlicesForDurations) {
+  EventLog log;
+  log.Enable(8);
+  TraceEvent wake = MakeEvent(500, EventKind::kWake, 3);
+  wake.duration = 120;
+  log.Emit(wake);
+  log.Emit(MakeEvent(600, EventKind::kViolation, 1));
+  const std::string json = log.ToChromeTrace();
+  EXPECT_EQ(json.front(), '[');
+  // The wake becomes a complete slice starting duration cycles earlier.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"ts\":380,\"dur\":120"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"wake\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"violation\""), std::string::npos);
+}
+
+// --- CycleHistogram ----------------------------------------------------------
+
+TEST(CycleHistogramTest, EmptyIsZeroes) {
+  CycleHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+  EXPECT_EQ(hist.Percentile(0.5), 0u);
+  EXPECT_EQ(FormatHistogram(hist), "n=0");
+}
+
+TEST(CycleHistogramTest, BucketBoundaries) {
+  EXPECT_EQ(CycleHistogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(CycleHistogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(CycleHistogram::BucketLowerBound(4), 8u);
+  CycleHistogram hist;
+  hist.Record(0);
+  hist.Record(1);
+  hist.Record(8);
+  hist.Record(15);  // same bucket as 8: [8, 16)
+  EXPECT_EQ(hist.buckets()[0], 1u);
+  EXPECT_EQ(hist.buckets()[1], 1u);
+  EXPECT_EQ(hist.buckets()[4], 2u);
+}
+
+TEST(CycleHistogramTest, StatsAndPercentiles) {
+  CycleHistogram hist;
+  for (Cycles v = 1; v <= 100; ++v) {
+    hist.Record(v);
+  }
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.min(), 1u);
+  EXPECT_EQ(hist.max(), 100u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 50.5);
+  // Power-of-two buckets: the percentile is the bucket's upper bound, so it
+  // is an over-approximation but must stay ordered and within [min, max].
+  const Cycles p50 = hist.Percentile(0.5);
+  const Cycles p90 = hist.Percentile(0.9);
+  const Cycles p99 = hist.Percentile(0.99);
+  EXPECT_GE(p50, 50u);
+  EXPECT_LE(p50, hist.Percentile(0.9));
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, 100u);
+  EXPECT_EQ(hist.Percentile(0.0), 1u);
+  EXPECT_EQ(hist.Percentile(1.0), 100u);
+}
+
+TEST(CycleHistogramTest, SingleValue) {
+  CycleHistogram hist;
+  hist.Record(50'000);
+  EXPECT_EQ(hist.Percentile(0.5), 50'000u);
+  EXPECT_EQ(hist.Percentile(0.99), 50'000u);
+  const std::string text = FormatHistogram(hist);
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+  EXPECT_NE(text.find("max=50000"), std::string::npos);
+}
+
+TEST(CycleHistogramTest, ClearResets) {
+  CycleHistogram hist;
+  hist.Record(7);
+  hist.Clear();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(FormatHistogram(hist), "n=0");
+}
+
+}  // namespace
+}  // namespace kivati

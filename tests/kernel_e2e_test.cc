@@ -322,7 +322,7 @@ TEST(KernelE2E, WhitelistedArIsIgnored) {
   ASSERT_TRUE(result.all_done);
   EXPECT_EQ(e.machine.trace().violations().size(), 0u);
   EXPECT_EQ(e.machine.trace().stats().watchpoint_traps, 0u);
-  EXPECT_EQ(e.machine.trace().stats().ars_whitelisted, 2u);  // begin + end
+  EXPECT_EQ(e.machine.trace().stats().ars_whitelisted, 1u);  // one begin/end pair
   EXPECT_EQ(e.machine.trace().stats().kernel_entries_begin, 0u);
 }
 

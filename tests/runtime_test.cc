@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "runtime/kivati_runtime.h"
 #include "runtime/whitelist.h"
@@ -76,6 +77,42 @@ TEST(WhitelistTest, FileRoundTripAndMergeOnLoad) {
 TEST(WhitelistTest, LoadMissingFileFails) {
   Whitelist wl;
   EXPECT_FALSE(wl.LoadFromFile("/nonexistent/kivati/whitelist"));
+}
+
+TEST(WhitelistTest, ParseRejectsMalformedTokens) {
+  // std::stoul used to accept "-1" (wrapping to a huge id) and "12abc"
+  // (silently truncating); both must be skipped whole.
+  const Whitelist wl = Whitelist::Parse("-1\n12abc\n0x10\n7\n");
+  EXPECT_EQ(wl.size(), 1u);
+  EXPECT_TRUE(wl.Contains(7));
+  EXPECT_FALSE(wl.Contains(12));
+  EXPECT_FALSE(wl.Contains(static_cast<ArId>(-1)));
+}
+
+TEST(WhitelistTest, ReloadDropsIdsRemovedFromFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kivati_wl_reload.txt").string();
+  std::ofstream(path) << "1\n2\n";
+  Whitelist wl;
+  wl.Add(50);
+  ASSERT_TRUE(wl.LoadFromFile(path));
+  EXPECT_TRUE(wl.Contains(1));
+  EXPECT_TRUE(wl.Contains(2));
+  EXPECT_TRUE(wl.Contains(50));
+
+  // Re-reading after the file shrank must drop the removed id (deletions
+  // propagate to running processes) while programmatic ids survive.
+  std::ofstream(path, std::ios::trunc) << "2\n";
+  ASSERT_TRUE(wl.LoadFromFile(path));
+  EXPECT_FALSE(wl.Contains(1));
+  EXPECT_TRUE(wl.Contains(2));
+  EXPECT_TRUE(wl.Contains(50));
+  EXPECT_EQ(wl.size(), 2u);
+
+  // A failed re-read leaves the previous contents intact.
+  EXPECT_FALSE(wl.LoadFromFile(path + ".missing"));
+  EXPECT_TRUE(wl.Contains(2));
+  std::remove(path.c_str());
 }
 
 TEST(WhitelistTest, MergeAndRemove) {
@@ -160,7 +197,8 @@ TEST(RuntimeAccountingTest, WhitelistSkipsAllWork) {
   m.SpawnThreadByName("main", 0);
   ASSERT_TRUE(m.Run(10'000'000).all_done);
   const RuntimeStats& stats = m.trace().stats();
-  EXPECT_EQ(stats.ars_whitelisted, 20u);  // 10 begins + 10 ends
+  // One whitelisted AR *execution* (begin/end pair) counts once.
+  EXPECT_EQ(stats.ars_whitelisted, 10u);
   EXPECT_EQ(stats.kernel_entries_total(), 0u);
   EXPECT_EQ(stats.ars_entered, 0u);
 }
@@ -175,7 +213,56 @@ TEST(RuntimeAccountingTest, RuntimeWhitelistIndependentOfConfigCopy) {
   runtime.whitelist().Add(1);
   m.SpawnThreadByName("main", 0);
   ASSERT_TRUE(m.Run(10'000'000).all_done);
-  EXPECT_EQ(m.trace().stats().ars_whitelisted, 20u);
+  EXPECT_EQ(m.trace().stats().ars_whitelisted, 10u);
+}
+
+TEST(RuntimeAccountingTest, PeriodicRereadPropagatesDeletions) {
+  // A long-running process must notice ids *removed* from the whitelist
+  // file, not only additions: the AR is whitelisted at start, the file is
+  // emptied underneath the run, and the periodic re-read re-enables
+  // monitoring.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kivati_wl_reread.txt").string();
+  std::ofstream(path) << "1\n";
+  Machine m(AnnotatedLoop(500), SingleCoreConfig());
+  KivatiConfig config;
+  config.whitelist_path = path;
+  config.whitelist_reread_ms = 0.1;  // 500 cycles
+  KivatiRuntime runtime(m, config);
+  ASSERT_TRUE(runtime.whitelist().Contains(1));
+  std::ofstream(path, std::ios::trunc) << "# emptied\n";
+  m.SpawnThreadByName("main", 0);
+  ASSERT_TRUE(m.Run(100'000'000).all_done);
+  const RuntimeStats& stats = m.trace().stats();
+  // Some early iterations hit the whitelist, the rest were monitored.
+  EXPECT_GT(stats.ars_whitelisted, 0u);
+  EXPECT_GT(stats.ars_entered, 0u);
+  EXPECT_LT(stats.ars_whitelisted, stats.begin_atomic_calls);
+  std::remove(path.c_str());
+}
+
+TEST(RuntimeAccountingTest, ClearArCrossingsCountedSeparately) {
+  // clear_ar crossings used to be folded into the end counters,
+  // misattributing Table 4's breakdown.
+  ProgramBuilder b;
+  b.BeginFunction("main");
+  b.BeginAtomic(1, MemOperand::Absolute(kDataBase), 8, WatchType::kWrite, AccessType::kRead);
+  b.Load(2, MemOperand::Absolute(kDataBase));
+  b.ClearAr();
+  b.Halt();
+  b.EndFunction();
+  Machine m(b.Build(), SingleCoreConfig());
+  KivatiConfig config;  // base: every annotation crosses
+  KivatiRuntime runtime(m, config);
+  m.SpawnThreadByName("main", 0);
+  ASSERT_TRUE(m.Run(10'000'000).all_done);
+  const RuntimeStats& stats = m.trace().stats();
+  EXPECT_EQ(stats.clear_ar_calls, 1u);
+  EXPECT_EQ(stats.kernel_entries_clear, 1u);
+  EXPECT_EQ(stats.kernel_entries_end, 0u);
+  EXPECT_EQ(stats.fast_path_end, 0u);
+  EXPECT_EQ(stats.kernel_entries_total(),
+            stats.kernel_entries_begin + stats.kernel_entries_clear);
 }
 
 }  // namespace

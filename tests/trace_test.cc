@@ -80,8 +80,9 @@ TEST(TraceTest, KernelEntriesTotalSums) {
   RuntimeStats stats;
   stats.kernel_entries_begin = 3;
   stats.kernel_entries_end = 4;
+  stats.kernel_entries_clear = 2;
   stats.kernel_entries_trap = 5;
-  EXPECT_EQ(stats.kernel_entries_total(), 12u);
+  EXPECT_EQ(stats.kernel_entries_total(), 14u);
 }
 
 
@@ -116,6 +117,33 @@ TEST(ReportTest, StatsSummaryHasRates) {
   EXPECT_NE(summary.find("100 begin"), std::string::npos);
   EXPECT_NE(summary.find("(25.0/s)"), std::string::npos);  // 50 crossings / 2 s
   EXPECT_NE(summary.find("5.00%"), std::string::npos);     // missed percentage
+}
+
+TEST(ReportTest, StatsSummaryBreaksDownClearCrossings) {
+  RuntimeStats stats;
+  stats.kernel_entries_begin = 3;
+  stats.kernel_entries_end = 2;
+  stats.kernel_entries_clear = 7;
+  stats.fast_path_clear = 4;
+  const std::string summary = FormatStatsSummary(stats, 1.0);
+  EXPECT_NE(summary.find("clear 7"), std::string::npos);
+  EXPECT_NE(summary.find("4 clear"), std::string::npos);
+}
+
+TEST(ReportTest, StatsSummaryPrintsHistograms) {
+  RuntimeStats stats;
+  stats.suspension_latency.Record(100);
+  stats.suspension_latency.Record(900);
+  stats.ar_duration.Record(40);
+  const std::string summary = FormatStatsSummary(stats, 1.0);
+  EXPECT_NE(summary.find("suspension latency (cycles): n=2"), std::string::npos);
+  EXPECT_NE(summary.find("AR duration (cycles): n=1"), std::string::npos);
+  // Empty sync-stall histogram stays silent.
+  EXPECT_EQ(summary.find("sync stall"), std::string::npos);
+
+  stats.sync_stall.Record(5);
+  EXPECT_NE(FormatStatsSummary(stats, 1.0).find("sync stall (cycles): n=1"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -26,6 +26,13 @@
 //   --interprocedural               annotator: regions spanning calls
 //   --precise-aliasing              annotator: alias/element precision
 //   --verbose                       print every violation record
+//   --trace-out FILE                (run) write the structured event trace;
+//                                   *.json gets Chrome trace_event format,
+//                                   anything else JSONL (docs/tracing.md)
+//   --trace-events k1,k2,...        event kinds to record (default: all)
+//   --trace-limit N                 event ring-buffer capacity (default 65536)
+//
+// Every option may also be spelled --option=value.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +46,7 @@
 #include "core/trainer.h"
 #include "isa/disasm.h"
 #include "runtime/whitelist.h"
+#include "trace/event_log.h"
 #include "trace/report.h"
 
 namespace kivati {
@@ -62,6 +70,9 @@ struct CliOptions {
   int iterations = 8;
   double pause_ms = 20.0;
   AnnotateOptions annotator;
+  std::string trace_out_path;
+  std::string trace_events;
+  std::size_t trace_limit = 65536;
 };
 
 [[noreturn]] void Fail(const std::string& message) {
@@ -102,13 +113,25 @@ CliOptions ParseArgs(int argc, char** argv) {
   }
   options.command = argv[1];
   options.file = argv[2];
+  // Accept both "--option value" and "--option=value".
+  std::vector<std::string> args;
   for (int i = 3; i < argc; ++i) {
-    const std::string arg = argv[i];
+    const std::string raw = argv[i];
+    const std::size_t eq = raw.find('=');
+    if (raw.size() > 2 && raw[0] == '-' && raw[1] == '-' && eq != std::string::npos) {
+      args.push_back(raw.substr(0, eq));
+      args.push_back(raw.substr(eq + 1));
+    } else {
+      args.push_back(raw);
+    }
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string arg = args[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
+      if (i + 1 >= args.size()) {
         Fail("missing value for " + arg);
       }
-      return argv[++i];
+      return args[++i];
     };
     if (arg == "--threads") {
       options.threads = ParseThreads(next());
@@ -160,6 +183,15 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.annotator.interprocedural = true;
     } else if (arg == "--precise-aliasing") {
       options.annotator.precise_aliasing = true;
+    } else if (arg == "--trace-out") {
+      options.trace_out_path = next();
+    } else if (arg == "--trace-events") {
+      options.trace_events = next();
+    } else if (arg == "--trace-limit") {
+      options.trace_limit = std::strtoull(next().c_str(), nullptr, 0);
+      if (options.trace_limit == 0) {
+        Fail("--trace-limit must be positive");
+      }
     } else {
       Fail("unknown option '" + arg + "'");
     }
@@ -232,7 +264,33 @@ int Run(const CliOptions& options) {
   }
   const Workload workload = MakeWorkload(options, compiled);
   Engine engine(workload, MakeEngineOptions(options));
+  if (!options.trace_out_path.empty()) {
+    std::string error;
+    const auto mask = ParseEventKindMask(options.trace_events, &error);
+    if (!mask.has_value()) {
+      Fail("--trace-events: " + error);
+    }
+    engine.trace().events().Enable(options.trace_limit, *mask);
+  }
   const RunResult result = engine.Run();
+  if (!options.trace_out_path.empty()) {
+    const EventLog& events = engine.trace().events();
+    std::ofstream out(options.trace_out_path, std::ios::trunc);
+    if (!out) {
+      Fail("cannot write '" + options.trace_out_path + "'");
+    }
+    const bool chrome = options.trace_out_path.size() >= 5 &&
+                        options.trace_out_path.rfind(".json") ==
+                            options.trace_out_path.size() - 5;
+    out << (chrome ? events.ToChromeTrace() : events.ToJsonl());
+    if (!out) {
+      Fail("error writing '" + options.trace_out_path + "'");
+    }
+    std::fprintf(stderr, "trace: %zu event(s) written to %s (%llu emitted, %llu dropped)\n",
+                 events.size(), options.trace_out_path.c_str(),
+                 static_cast<unsigned long long>(events.emitted()),
+                 static_cast<unsigned long long>(events.dropped()));
+  }
 
   std::printf("run: %llu cycles, %llu instructions, %s\n",
               static_cast<unsigned long long>(result.cycles),
