@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace kivati {
 namespace bench {
@@ -20,32 +21,54 @@ KivatiConfig MakeConfig(OptimizationPreset preset, KivatiMode mode) {
   return KivatiConfig::PresetFor(preset, mode);
 }
 
-AppRun RunApp(const apps::App& app, const RunOptions& options) {
-  EngineOptions engine_options;
-  engine_options.machine = options.machine;
-  engine_options.kivati = options.kivati;
-  engine_options.whitelist_sync_vars = options.whitelist_sync_vars;
-
-  Engine engine(app.workload, engine_options);
-  const RunResult result = engine.Run(options.budget);
-
-  AppRun run;
-  run.app = app.workload.name;
-  run.cycles = result.cycles;
-  run.seconds = options.machine.costs.ToSeconds(result.cycles);
-  run.completed = result.all_done;
-  run.stats = engine.trace().stats();
-  run.violations = engine.trace().violations().size();
-  run.unique_violating_ars = engine.trace().UniqueViolatingArs();
-  run.false_positive_ars = engine.trace().UniqueViolatingArsExcluding(app.workload.buggy_ars);
-  if (options.latency_tag != 0) {
-    for (const MarkEvent& mark : engine.trace().marks()) {
-      if (mark.tag == options.latency_tag) {
-        run.latencies.push_back(mark.value);
-      }
-    }
+exp::RunSpec SpecFor(std::shared_ptr<const apps::App> app, const RunOptions& options) {
+  exp::RunSpec spec;
+  spec.prebuilt = std::move(app);
+  spec.machine = options.machine;
+  spec.vanilla = !options.kivati.has_value();
+  if (options.kivati.has_value()) {
+    spec.config_override = options.kivati;
+    spec.mode = options.kivati->mode;
   }
+  spec.whitelist_sync_vars = options.whitelist_sync_vars;
+  spec.budget = options.budget;
+  spec.latency_tag = options.latency_tag;
+  spec.label = exp::SpecLabel(spec);
+  return spec;
+}
+
+AppRun FromRecord(const exp::RunRecord& record) {
+  if (!record.error.empty()) {
+    std::fprintf(stderr, "bench: run '%s' failed: %s\n", record.label.c_str(),
+                 record.error.c_str());
+    std::exit(1);
+  }
+  AppRun run;
+  run.app = record.app;
+  run.cycles = record.cycles;
+  run.seconds = record.virtual_seconds;
+  run.completed = record.completed;
+  run.stats = record.stats;
+  run.violations = record.violations;
+  run.unique_violating_ars = record.unique_violating_ars;
+  run.false_positive_ars = record.false_positive_ars;
+  run.latencies = record.latencies;
   return run;
+}
+
+std::vector<exp::RunRecord> RunSpecsParallel(const std::vector<exp::RunSpec>& specs) {
+  exp::RunnerOptions options;
+  if (const char* env = std::getenv("KIVATI_BENCH_WORKERS")) {
+    options.workers = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+  }
+  exp::ExperimentRunner runner(options);
+  return runner.RunAll(specs);
+}
+
+AppRun RunApp(const apps::App& app, const RunOptions& options) {
+  // Non-owning alias: the caller's App outlives this call.
+  const std::shared_ptr<const apps::App> alias(&app, [](const apps::App*) {});
+  return FromRecord(exp::Execute(SpecFor(alias, options)));
 }
 
 double OverheadPercent(const AppRun& baseline, const AppRun& run) {

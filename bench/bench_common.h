@@ -1,15 +1,20 @@
-// Shared harness for the experiment benches: runs an application under a
-// given Kivati configuration on the paper's machine model (two cores, four
-// watchpoints) and collects timing and statistics.
+// Shared harness for the experiment benches: runs applications under given
+// Kivati configurations on the paper's machine model (two cores, four
+// watchpoints) and collects timing and statistics. Runs are constructed
+// through the src/exp RunSpec API and executed — in parallel where a bench
+// has independent runs — by the exp::ExperimentRunner.
 #ifndef KIVATI_BENCH_BENCH_COMMON_H_
 #define KIVATI_BENCH_BENCH_COMMON_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "apps/workloads.h"
 #include "core/engine.h"
+#include "exp/runner.h"
+#include "exp/spec_grid.h"
 #include "kernel/config.h"
 
 namespace kivati {
@@ -39,6 +44,18 @@ struct RunOptions {
 };
 
 AppRun RunApp(const apps::App& app, const RunOptions& options);
+
+// The RunSpec equivalent of RunApp's inputs (the bench-to-runner bridge).
+exp::RunSpec SpecFor(std::shared_ptr<const apps::App> app, const RunOptions& options);
+
+// Converts a runner record back into the bench AppRun shape. Aborts the
+// bench if the record carries an error — bench grids are all-or-nothing.
+AppRun FromRecord(const exp::RunRecord& record);
+
+// Executes the specs on the parallel ExperimentRunner. Worker count comes
+// from the KIVATI_BENCH_WORKERS env var (unset/0 = all host cores; 1 forces
+// the serial order, bit-identical by construction).
+std::vector<exp::RunRecord> RunSpecsParallel(const std::vector<exp::RunSpec>& specs);
 
 // Convenience: the four Table-3 configurations for one mode.
 KivatiConfig MakeConfig(OptimizationPreset preset, KivatiMode mode);

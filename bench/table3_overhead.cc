@@ -20,7 +20,10 @@ void Run() {
               "(prevention / bug-finding) ===\n\n");
 
   const apps::LoadScale scale;
-  const std::vector<apps::App> all = apps::AllPerformanceApps(scale);
+  std::vector<std::shared_ptr<const apps::App>> all;
+  for (apps::App& app : apps::AllPerformanceApps(scale)) {
+    all.push_back(std::make_shared<const apps::App>(std::move(app)));
+  }
 
   TablePrinter table({"Application", "Runtime (virt. s)", "Base", "Null syscall", "SyncVars",
                       "Optimized"});
@@ -35,24 +38,38 @@ void Run() {
       {OptimizationPreset::kSyncVars, true},
       {OptimizationPreset::kOptimized, true},
   };
+  const std::vector<KivatiMode> modes = {KivatiMode::kPrevention, KivatiMode::kBugFinding};
+
+  // The whole table is one grid of independent runs — 1 vanilla + 4 levels ×
+  // 2 modes per app — executed concurrently by the experiment runner.
+  const std::size_t runs_per_app = 1 + levels.size() * modes.size();
+  std::vector<exp::RunSpec> specs;
+  for (const auto& app : all) {
+    specs.push_back(SpecFor(app, RunOptions{}));
+    for (const Level& level : levels) {
+      for (const KivatiMode mode : modes) {
+        RunOptions options;
+        options.kivati = MakeConfig(level.preset, mode);
+        options.whitelist_sync_vars = level.whitelist_sync;
+        specs.push_back(SpecFor(app, options));
+      }
+    }
+  }
+  const std::vector<exp::RunRecord> records = RunSpecsParallel(specs);
 
   std::vector<std::vector<double>> per_level_overheads(levels.size() * 2);
 
-  for (const apps::App& app : all) {
-    RunOptions vanilla_options;
-    const AppRun vanilla = RunApp(app, vanilla_options);
+  for (std::size_t a = 0; a < all.size(); ++a) {
+    const exp::RunRecord* app_records = &records[a * runs_per_app];
+    const AppRun vanilla = FromRecord(app_records[0]);
 
-    std::vector<std::string> row = {app.workload.name, Num(vanilla.seconds, 3)};
+    std::vector<std::string> row = {all[a]->workload.name, Num(vanilla.seconds, 3)};
     for (std::size_t l = 0; l < levels.size(); ++l) {
       std::string cell;
-      for (const KivatiMode mode : {KivatiMode::kPrevention, KivatiMode::kBugFinding}) {
-        RunOptions options;
-        options.kivati = MakeConfig(levels[l].preset, mode);
-        options.whitelist_sync_vars = levels[l].whitelist_sync;
-        const AppRun run = RunApp(app, options);
+      for (std::size_t m = 0; m < modes.size(); ++m) {
+        const AppRun run = FromRecord(app_records[1 + l * modes.size() + m]);
         const double overhead = OverheadPercent(vanilla, run);
-        const std::size_t bucket = l * 2 + (mode == KivatiMode::kBugFinding ? 1 : 0);
-        per_level_overheads[bucket].push_back(overhead);
+        per_level_overheads[l * 2 + m].push_back(overhead);
         if (!cell.empty()) {
           cell += " / ";
         }

@@ -20,15 +20,31 @@ void Run() {
   }
   TablePrinter table(std::move(headers));
 
-  for (const apps::App& app : apps::AllPerformanceApps({})) {
-    std::vector<std::string> row = {app.workload.name};
-    for (unsigned n = 2; n <= 12; ++n) {
+  // One independent run per app × register count; the whole sweep goes to
+  // the parallel experiment runner at once.
+  std::vector<std::shared_ptr<const apps::App>> all;
+  for (apps::App& app : apps::AllPerformanceApps({})) {
+    all.push_back(std::make_shared<const apps::App>(std::move(app)));
+  }
+  constexpr unsigned kMinWp = 2, kMaxWp = 12;
+  std::vector<exp::RunSpec> specs;
+  for (const auto& app : all) {
+    for (unsigned n = kMinWp; n <= kMaxWp; ++n) {
       RunOptions options;
       options.machine = PaperMachine();
       options.machine.watchpoints_per_core = n;
       options.kivati = MakeConfig(OptimizationPreset::kOptimized, KivatiMode::kPrevention);
       options.whitelist_sync_vars = true;
-      const AppRun run = RunApp(app, options);
+      specs.push_back(SpecFor(app, options));
+    }
+  }
+  const std::vector<exp::RunRecord> records = RunSpecsParallel(specs);
+
+  constexpr unsigned kRunsPerApp = kMaxWp - kMinWp + 1;
+  for (std::size_t a = 0; a < all.size(); ++a) {
+    std::vector<std::string> row = {all[a]->workload.name};
+    for (unsigned n = kMinWp; n <= kMaxWp; ++n) {
+      const AppRun run = FromRecord(records[a * kRunsPerApp + (n - kMinWp)]);
       const double missed_pct =
           run.stats.ars_entered > 0 ? 100.0 * static_cast<double>(run.stats.ars_missed) /
                                           static_cast<double>(run.stats.ars_entered)

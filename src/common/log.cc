@@ -1,5 +1,6 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 #include "common/types.h"
@@ -7,7 +8,9 @@
 namespace kivati {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+// Atomic so parallel experiment workers may log while another host thread
+// adjusts verbosity (the level is a monotonic filter, ordering is moot).
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -27,12 +30,12 @@ const char* LevelTag(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) {
     return;
   }
   std::fprintf(stderr, "[kivati %s] %s\n", LevelTag(level), message.c_str());

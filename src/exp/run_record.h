@@ -1,0 +1,71 @@
+// RunRecord: the machine-readable result of one run, with JSON output.
+//
+// Single runs (`kivati run --json`) and sweeps (`kivati sweep`,
+// ExperimentRunner) share this one schema, so downstream tooling parses one
+// format regardless of how the run was produced. Everything except the
+// wall-clock fields is a deterministic function of the RunSpec; serializers
+// take `include_wall_clock=false` to produce byte-stable output for
+// determinism checks (docs/sweeping.md documents the schema).
+#ifndef KIVATI_EXP_RUN_RECORD_H_
+#define KIVATI_EXP_RUN_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "kernel/config.h"
+#include "trace/trace.h"
+
+namespace kivati {
+namespace exp {
+
+struct RunRecord {
+  // Spec echo: enough to reproduce the run.
+  std::string label;
+  std::string app;       // workload name
+  bool vanilla = false;
+  OptimizationPreset preset = OptimizationPreset::kOptimized;
+  KivatiMode mode = KivatiMode::kPrevention;
+  unsigned cores = 0;
+  unsigned watchpoints = 0;
+  std::uint64_t seed = 0;
+
+  // Outcome.
+  Cycles cycles = 0;
+  double virtual_seconds = 0.0;   // cycles through the machine's cost model
+  std::uint64_t instructions = 0;
+  bool completed = false;
+  bool deadlocked = false;
+  bool hit_limit = false;
+
+  RuntimeStats stats;
+  std::size_t violations = 0;
+  std::size_t violations_prevented = 0;
+  std::size_t unique_violating_ars = 0;
+  std::size_t false_positive_ars = 0;  // unique violating ARs minus known bugs
+  std::vector<Cycles> latencies;       // mark values for the spec's latency tag
+
+  // Host-side measurements; excluded by include_wall_clock=false.
+  double wall_ms = 0.0;
+
+  // Non-empty if the run threw instead of finishing (sweeps keep going).
+  std::string error;
+};
+
+// Enum names used in JSON and on the CLI ("base", "null", "syncvars",
+// "optimized"; "prevention", "bug-finding").
+const char* ToString(OptimizationPreset preset);
+const char* ToString(KivatiMode mode);
+bool ParsePreset(const std::string& text, OptimizationPreset* out);
+bool ParseMode(const std::string& text, KivatiMode* out);
+
+// One record as a JSON object.
+std::string ToJson(const RunRecord& record, bool include_wall_clock = true);
+
+// A full sweep report: {"kind":"kivati_sweep","workers":N,...,"runs":[...]}.
+std::string SweepReportJson(const std::vector<RunRecord>& records, unsigned workers,
+                            double total_wall_ms, bool include_wall_clock = true);
+
+}  // namespace exp
+}  // namespace kivati
+
+#endif  // KIVATI_EXP_RUN_RECORD_H_

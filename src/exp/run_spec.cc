@@ -1,0 +1,134 @@
+#include "exp/run_spec.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "compile/compiler.h"
+#include "runtime/whitelist.h"
+
+namespace kivati {
+namespace exp {
+namespace {
+
+std::string ReadFileOrThrow(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+const std::vector<std::string>& RegisteredApps() {
+  static const std::vector<std::string> kNames = {"nss", "vlc", "webstone", "tpcw", "specomp"};
+  return kNames;
+}
+
+std::shared_ptr<const apps::App> MakeRegisteredApp(const std::string& name,
+                                                   const apps::LoadScale& scale) {
+  if (name == "nss") {
+    return std::make_shared<const apps::App>(apps::MakeNss(scale));
+  }
+  if (name == "vlc") {
+    return std::make_shared<const apps::App>(apps::MakeVlc(scale));
+  }
+  if (name == "webstone") {
+    return std::make_shared<const apps::App>(apps::MakeWebstone(scale));
+  }
+  if (name == "tpcw") {
+    return std::make_shared<const apps::App>(apps::MakeTpcw(scale));
+  }
+  if (name == "specomp") {
+    return std::make_shared<const apps::App>(apps::MakeSpecOmp(scale));
+  }
+  std::string known;
+  for (const std::string& app : RegisteredApps()) {
+    known += (known.empty() ? "" : ", ") + app;
+  }
+  throw std::runtime_error("unknown app '" + name + "' (known: " + known + ")");
+}
+
+std::shared_ptr<const apps::App> ResolveApp(const RunSpec& spec) {
+  const int sources = (spec.prebuilt != nullptr) + !spec.app.empty() + !spec.source_path.empty();
+  if (sources != 1) {
+    throw std::runtime_error("RunSpec needs exactly one workload source "
+                             "(app, source file, or prebuilt workload)");
+  }
+  if (spec.prebuilt != nullptr) {
+    return spec.prebuilt;
+  }
+  if (!spec.app.empty()) {
+    return MakeRegisteredApp(spec.app, spec.scale);
+  }
+  CompileOptions compile_options;
+  compile_options.annotator = spec.scale.annotator;
+  auto compiled = std::make_shared<CompiledProgram>(
+      CompileSource(ReadFileOrThrow(spec.source_path), compile_options));
+  auto app = std::make_shared<apps::App>();
+  app->workload.name = spec.source_path;
+  app->workload.program = compiled->program;
+  app->workload.threads = spec.threads;
+  if (app->workload.threads.empty()) {
+    app->workload.threads.emplace_back("main", 0);
+  }
+  app->workload.init = [compiled](AddressSpace& memory) { compiled->InitMemory(memory); };
+  app->workload.sync_var_ars = compiled->sync_ars;
+  app->compiled = compiled;
+  for (const auto& [function, arg] : app->workload.threads) {
+    (void)arg;
+    if (app->workload.program.FindFunction(function) == nullptr) {
+      throw std::runtime_error("no function '" + function + "' in " + spec.source_path);
+    }
+  }
+  return app;
+}
+
+bool WhitelistsSyncVars(const RunSpec& spec) {
+  if (spec.whitelist_sync_vars.has_value()) {
+    return *spec.whitelist_sync_vars;
+  }
+  return spec.preset == OptimizationPreset::kSyncVars ||
+         spec.preset == OptimizationPreset::kOptimized;
+}
+
+EngineOptions MakeEngineOptions(const RunSpec& spec) {
+  EngineOptions options;
+  options.machine = spec.machine;
+  if (spec.vanilla) {
+    return options;
+  }
+  KivatiConfig config;
+  if (spec.config_override.has_value()) {
+    config = *spec.config_override;
+  } else {
+    config = KivatiConfig::PresetFor(spec.preset, spec.mode);
+    config.bugfinding_pause_ms = spec.pause_ms;
+  }
+  if (!spec.whitelist_path.empty()) {
+    Whitelist whitelist;
+    if (!whitelist.LoadFromFile(spec.whitelist_path)) {
+      throw std::runtime_error("cannot read whitelist '" + spec.whitelist_path + "'");
+    }
+    config.whitelist = whitelist.ids();
+  }
+  options.kivati = config;
+  options.whitelist_sync_vars = WhitelistsSyncVars(spec);
+  return options;
+}
+
+BuiltRun BuildEngine(const RunSpec& spec) { return BuildEngine(spec, ResolveApp(spec)); }
+
+BuiltRun BuildEngine(const RunSpec& spec, std::shared_ptr<const apps::App> app) {
+  BuiltRun run;
+  run.app = std::move(app);
+  run.options = MakeEngineOptions(spec);
+  run.engine = std::make_unique<Engine>(run.app->workload, run.options);
+  return run;
+}
+
+}  // namespace exp
+}  // namespace kivati

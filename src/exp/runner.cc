@@ -1,0 +1,169 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "exp/spec_grid.h"
+
+namespace kivati {
+namespace exp {
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Cache key for pre-resolving registered apps: the factory inputs that
+// change the compiled workload.
+struct AppKey {
+  std::string name;
+  int workers;
+  int iterations;
+  bool interprocedural;
+  bool precise_aliasing;
+
+  bool operator<(const AppKey& other) const {
+    return std::tie(name, workers, iterations, interprocedural, precise_aliasing) <
+           std::tie(other.name, other.workers, other.iterations, other.interprocedural,
+                    other.precise_aliasing);
+  }
+};
+
+AppKey KeyFor(const RunSpec& spec) {
+  return {spec.app, spec.scale.workers, spec.scale.iterations,
+          spec.scale.annotator.interprocedural, spec.scale.annotator.precise_aliasing};
+}
+
+}  // namespace
+
+RunRecord MakeRecord(const RunSpec& spec, const apps::App& app, Engine& engine,
+                     const RunResult& result) {
+  RunRecord record;
+  record.label = spec.label.empty() ? SpecLabel(spec) : spec.label;
+  record.app = app.workload.name;
+  record.vanilla = spec.vanilla;
+  record.preset = spec.preset;
+  record.mode = spec.config_override.has_value() ? spec.config_override->mode : spec.mode;
+  record.cores = spec.machine.num_cores;
+  record.watchpoints = spec.machine.watchpoints_per_core;
+  record.seed = spec.machine.seed;
+  record.cycles = result.cycles;
+  record.virtual_seconds = spec.machine.costs.ToSeconds(result.cycles);
+  record.instructions = result.instructions;
+  record.completed = result.all_done;
+  record.deadlocked = result.deadlocked;
+  record.hit_limit = result.hit_limit;
+  const Trace& trace = engine.trace();
+  record.stats = trace.stats();
+  record.violations = trace.violations().size();
+  std::size_t prevented = 0;
+  for (const ViolationRecord& v : trace.violations()) {
+    prevented += v.prevented ? 1 : 0;
+  }
+  record.violations_prevented = prevented;
+  record.unique_violating_ars = trace.UniqueViolatingArs();
+  record.false_positive_ars = trace.UniqueViolatingArsExcluding(app.workload.buggy_ars);
+  if (spec.latency_tag != 0) {
+    for (const MarkEvent& mark : trace.marks()) {
+      if (mark.tag == spec.latency_tag) {
+        record.latencies.push_back(mark.value);
+      }
+    }
+  }
+  return record;
+}
+
+RunRecord Execute(const RunSpec& spec) {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    BuiltRun run = BuildEngine(spec);
+    const RunResult result = run.engine->Run(spec.budget);
+    RunRecord record = MakeRecord(spec, *run.app, *run.engine, result);
+    record.wall_ms = ElapsedMs(start);
+    return record;
+  } catch (const std::exception& e) {
+    RunRecord record;
+    record.label = spec.label.empty() ? SpecLabel(spec) : spec.label;
+    record.app = spec.app.empty() ? spec.source_path : spec.app;
+    record.vanilla = spec.vanilla;
+    record.preset = spec.preset;
+    record.mode = spec.mode;
+    record.cores = spec.machine.num_cores;
+    record.watchpoints = spec.machine.watchpoints_per_core;
+    record.seed = spec.machine.seed;
+    record.error = e.what();
+    record.wall_ms = ElapsedMs(start);
+    return record;
+  }
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options) : options_(std::move(options)) {
+  workers_ = options_.workers != 0 ? options_.workers : std::thread::hardware_concurrency();
+  if (workers_ == 0) {
+    workers_ = 1;
+  }
+}
+
+std::vector<RunRecord> ExperimentRunner::RunAll(const std::vector<RunSpec>& specs) {
+  // Resolve each unique registered app once; every spec that names it shares
+  // the immutable compiled App (Engine copies the program, init only reads).
+  // Source-file and prebuilt specs pass through untouched.
+  std::vector<RunSpec> resolved = specs;
+  std::map<AppKey, std::shared_ptr<const apps::App>> cache;
+  for (RunSpec& spec : resolved) {
+    if (spec.app.empty() || spec.prebuilt != nullptr) {
+      continue;
+    }
+    auto [it, inserted] = cache.try_emplace(KeyFor(spec));
+    if (inserted) {
+      it->second = MakeRegisteredApp(spec.app, spec.scale);
+    }
+    spec.prebuilt = it->second;
+    spec.app.clear();
+  }
+
+  std::vector<RunRecord> records(resolved.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= resolved.size()) {
+        return;
+      }
+      records[i] = Execute(resolved[i]);
+      const std::size_t finished = done.fetch_add(1) + 1;
+      if (options_.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options_.progress(records[i], finished, resolved.size());
+      }
+    }
+  };
+
+  const unsigned pool = static_cast<unsigned>(
+      std::min<std::size_t>(workers_, resolved.empty() ? 1 : resolved.size()));
+  if (pool <= 1) {
+    worker();
+    return records;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (unsigned t = 0; t < pool; ++t) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  return records;
+}
+
+}  // namespace exp
+}  // namespace kivati

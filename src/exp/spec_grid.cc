@@ -1,0 +1,106 @@
+#include "exp/spec_grid.h"
+
+#include "exp/run_record.h"
+
+namespace kivati {
+namespace exp {
+namespace {
+
+// The workload part of a spec's label: the app name, the source file, or
+// the prebuilt workload's own name.
+std::string WorkloadLabel(const RunSpec& spec) {
+  if (!spec.app.empty()) {
+    return spec.app;
+  }
+  if (spec.prebuilt != nullptr) {
+    return spec.prebuilt->workload.name;
+  }
+  return spec.source_path;
+}
+
+}  // namespace
+
+std::string SpecLabel(const RunSpec& spec) {
+  std::string label = WorkloadLabel(spec);
+  label += "/";
+  label += spec.vanilla ? "vanilla" : ToString(spec.preset);
+  if (!spec.vanilla) {
+    label += std::string("/") + ToString(spec.mode);
+  }
+  label += "/c" + std::to_string(spec.machine.num_cores) + "w" +
+           std::to_string(spec.machine.watchpoints_per_core);
+  label += "/s" + std::to_string(spec.machine.seed);
+  return label;
+}
+
+std::size_t SpecGrid::size() const {
+  const std::size_t n_apps = apps.empty() ? 1 : apps.size();
+  const std::size_t n_cores = cores.empty() ? 1 : cores.size();
+  const std::size_t n_wps = watchpoints.empty() ? 1 : watchpoints.size();
+  const std::size_t n_seeds = seeds.empty() ? 1 : seeds.size();
+  const std::size_t n_presets = presets.empty() ? 1 : presets.size();
+  const std::size_t n_modes = modes.empty() ? 1 : modes.size();
+  const std::size_t machines = n_apps * n_cores * n_wps * n_seeds;
+  return machines * (n_presets * n_modes + (include_vanilla ? 1 : 0));
+}
+
+std::vector<RunSpec> SpecGrid::Expand() const {
+  std::vector<RunSpec> specs;
+  specs.reserve(size());
+  const std::size_t n_apps = apps.empty() ? 1 : apps.size();
+  const std::size_t n_cores = cores.empty() ? 1 : cores.size();
+  const std::size_t n_wps = watchpoints.empty() ? 1 : watchpoints.size();
+  const std::size_t n_seeds = seeds.empty() ? 1 : seeds.size();
+  const std::size_t n_presets = presets.empty() ? 1 : presets.size();
+  const std::size_t n_modes = modes.empty() ? 1 : modes.size();
+
+  for (std::size_t a = 0; a < n_apps; ++a) {
+    for (std::size_t c = 0; c < n_cores; ++c) {
+      for (std::size_t w = 0; w < n_wps; ++w) {
+        for (std::size_t s = 0; s < n_seeds; ++s) {
+          RunSpec machine_spec = base;
+          if (!apps.empty()) {
+            machine_spec.app = apps[a];
+            machine_spec.source_path.clear();
+            machine_spec.prebuilt = nullptr;
+          }
+          if (!cores.empty()) {
+            machine_spec.machine.num_cores = cores[c];
+          }
+          if (!watchpoints.empty()) {
+            machine_spec.machine.watchpoints_per_core = watchpoints[w];
+          }
+          if (!seeds.empty()) {
+            machine_spec.machine.seed = seeds[s];
+          }
+          if (include_vanilla) {
+            RunSpec spec = machine_spec;
+            spec.vanilla = true;
+            spec.label = SpecLabel(spec);
+            specs.push_back(std::move(spec));
+          }
+          for (std::size_t p = 0; p < n_presets; ++p) {
+            for (std::size_t m = 0; m < n_modes; ++m) {
+              RunSpec spec = machine_spec;
+              if (include_vanilla) {
+                spec.vanilla = false;  // the baseline was emitted above
+              }
+              if (!presets.empty()) {
+                spec.preset = presets[p];
+              }
+              if (!modes.empty()) {
+                spec.mode = modes[m];
+              }
+              spec.label = SpecLabel(spec);
+              specs.push_back(std::move(spec));
+            }
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace exp
+}  // namespace kivati

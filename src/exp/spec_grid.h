@@ -1,0 +1,44 @@
+// SpecGrid: the cartesian expansion apps × cores × watchpoints × seeds ×
+// (configs × modes) -> vector<RunSpec>.
+//
+// Empty dimension vectors mean "use the base spec's value", so a grid only
+// names the dimensions it actually sweeps. `include_vanilla` prepends one
+// unprotected baseline run per app × machine × seed — the denominator for
+// the paper's overhead tables.
+#ifndef KIVATI_EXP_SPEC_GRID_H_
+#define KIVATI_EXP_SPEC_GRID_H_
+
+#include <vector>
+
+#include "exp/run_spec.h"
+
+namespace kivati {
+namespace exp {
+
+struct SpecGrid {
+  // Template: every expanded spec starts as a copy of this (workload source,
+  // scale, cost model, budget, pause, whitelist...).
+  RunSpec base;
+
+  // Swept dimensions; an empty vector keeps the base spec's value.
+  std::vector<std::string> apps;
+  std::vector<unsigned> cores;
+  std::vector<unsigned> watchpoints;
+  std::vector<std::uint64_t> seeds;
+  std::vector<OptimizationPreset> presets;
+  std::vector<KivatiMode> modes;
+
+  // Adds one vanilla baseline per app × cores × watchpoints × seed.
+  bool include_vanilla = false;
+
+  std::size_t size() const;
+  std::vector<RunSpec> Expand() const;
+};
+
+// "nss/optimized/prevention/c2w4/s1"-style label for a spec.
+std::string SpecLabel(const RunSpec& spec);
+
+}  // namespace exp
+}  // namespace kivati
+
+#endif  // KIVATI_EXP_SPEC_GRID_H_

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 namespace kivati {
@@ -197,6 +198,74 @@ TEST_F(CliTest, UnknownOptionFails) {
   const CommandResult result = RunCli("run " + program_ + " --bogus");
   EXPECT_NE(result.exit_code, 0);
   EXPECT_NE(result.output.find("unknown option"), std::string::npos);
+}
+
+TEST_F(CliTest, MalformedNumericOptionsAreRejected) {
+  // Each of these used to slip through strtoul/atoi as garbage values.
+  for (const std::string args : {"--cores abc", "--cores 0", "--watchpoints 0",
+                                 "--seed 12x", "--max-cycles 0", "--threads racer:xyz",
+                                 "--threads ,", "--pause-ms nope"}) {
+    const CommandResult result = RunCli("run " + program_ + " " + args);
+    EXPECT_NE(result.exit_code, 0) << args << ": " << result.output;
+    EXPECT_NE(result.output.find("kivati:"), std::string::npos) << args;
+  }
+  const CommandResult train = RunCli("train " + program_ + " --iterations -3");
+  EXPECT_NE(train.exit_code, 0);
+  EXPECT_NE(train.output.find("out of range"), std::string::npos) << train.output;
+}
+
+TEST_F(CliTest, RunJsonEmitsRunRecord) {
+  const CommandResult result =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 --json -");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"config\":\"base\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"seed\":9"), std::string::npos);
+  EXPECT_NE(result.output.find("\"stats\":{"), std::string::npos);
+  EXPECT_NE(result.output.find("\"wall_ms\""), std::string::npos);
+
+  const std::string json = (dir_ / "run.json").string();
+  const CommandResult to_file =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --json " + json);
+  EXPECT_EQ(to_file.exit_code, 0) << to_file.output;
+  ASSERT_TRUE(std::filesystem::exists(json));
+}
+
+TEST_F(CliTest, SweepSourceFileGridEmitsReport) {
+  const std::string json = (dir_ / "sweep.json").string();
+  const CommandResult result =
+      RunCli("sweep " + program_ + " --threads racer:0,racer:1 "
+             "--presets base,optimized --seeds 1..3 --with-vanilla -j 2 --json " + json);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  // 3 seeds × (2 presets + vanilla baseline).
+  EXPECT_NE(result.output.find("sweep: 9 run(s)"), std::string::npos) << result.output;
+
+  ASSERT_TRUE(std::filesystem::exists(json));
+  std::ifstream in(json);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string report = buffer.str();
+  EXPECT_NE(report.find("\"kind\":\"kivati_sweep\""), std::string::npos);
+  EXPECT_NE(report.find("\"runs_total\":9"), std::string::npos);
+  EXPECT_NE(report.find("/vanilla/"), std::string::npos);
+  EXPECT_NE(report.find("/base/prevention/"), std::string::npos);
+  EXPECT_EQ(report.find("\"error\""), std::string::npos) << report;
+}
+
+TEST_F(CliTest, SweepRejectsBadGrids) {
+  const CommandResult none = RunCli("sweep --seeds 1,2");
+  EXPECT_NE(none.exit_code, 0);
+  EXPECT_NE(none.output.find("--apps or a source FILE"), std::string::npos);
+
+  const CommandResult bad_app = RunCli("sweep --apps nosuchapp");
+  EXPECT_NE(bad_app.exit_code, 0);
+  EXPECT_NE(bad_app.output.find("unknown app"), std::string::npos);
+
+  const CommandResult bad_seeds = RunCli("sweep --apps nss --seeds 5..2");
+  EXPECT_NE(bad_seeds.exit_code, 0);
+
+  const CommandResult both = RunCli("sweep " + program_ + " --apps nss");
+  EXPECT_NE(both.exit_code, 0);
+  EXPECT_NE(both.output.find("not both"), std::string::npos);
 }
 
 }  // namespace

@@ -7,6 +7,10 @@
 //                                   violations and statistics
 //   kivati train FILE [options]     iterate runs, growing a whitelist from
 //                                   the benign violations found
+//   kivati sweep [FILE] [options]   run a grid of independent runs (apps ×
+//                                   presets × modes × seeds × machines) on a
+//                                   worker pool and emit a JSON report
+//                                   (docs/sweeping.md)
 //
 // Options for run/train:
 //   --threads f[:arg][,f[:arg]...]  threads to start (default: main:0)
@@ -26,17 +30,35 @@
 //   --interprocedural               annotator: regions spanning calls
 //   --precise-aliasing              annotator: alias/element precision
 //   --verbose                       print every violation record
+//   --json FILE                     (run) also write the run as a JSON
+//                                   RunRecord; '-' writes to stdout
 //   --trace-out FILE                (run) write the structured event trace;
 //                                   *.json gets Chrome trace_event format,
 //                                   anything else JSONL (docs/tracing.md)
 //   --trace-events k1,k2,...        event kinds to record (default: all)
 //   --trace-limit N                 event ring-buffer capacity (default 65536)
 //
-// Every option may also be spelled --option=value.
+// Options for sweep (plus --mode-independent ones above):
+//   --apps a,b,...                  registered apps to sweep (nss, vlc,
+//                                   webstone, tpcw, specomp); or pass FILE
+//   --presets p1,p2,...             configurations (default: optimized)
+//   --modes m1,m2,...               modes (default: prevention)
+//   --seeds 1,2,5..8                seeds; '..' expands inclusive ranges
+//   --cores 2,4                     simulated core counts (default: 2)
+//   --watchpoints 4,8               watchpoint counts (default: 4)
+//   --with-vanilla                  add an unprotected baseline per cell
+//   --jobs N  /  -j N               worker threads (default: all host cores)
+//   --json FILE                     write the sweep report ('-' = stdout)
+//   --app-workers N                 app thread-count scale (default 4)
+//   --app-iterations N              app iteration scale (default 250)
+//
+// Every option may also be spelled --option=value. Numeric options are
+// parsed strictly: the whole value must be a number in the documented range.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -44,8 +66,13 @@
 #include "compile/compiler.h"
 #include "core/engine.h"
 #include "core/trainer.h"
+#include "exp/optparse.h"
+#include "exp/run_record.h"
+#include "exp/run_spec.h"
+#include "exp/runner.h"
+#include "exp/spec_grid.h"
+#include "hw/debug_registers.h"
 #include "isa/disasm.h"
-#include "runtime/whitelist.h"
 #include "trace/event_log.h"
 #include "trace/report.h"
 
@@ -64,15 +91,28 @@ struct CliOptions {
   unsigned cores = 2;
   unsigned watchpoints = 4;
   std::uint64_t seed = 1;
-  Cycles max_cycles = 200'000'000;
+  std::optional<Cycles> max_cycles;  // run/train default 200M below
   std::string whitelist_path;
   std::string save_whitelist_path;
   int iterations = 8;
   double pause_ms = 20.0;
   AnnotateOptions annotator;
+  std::string json_path;
   std::string trace_out_path;
   std::string trace_events;
   std::size_t trace_limit = 65536;
+
+  // Sweep grid dimensions.
+  std::vector<std::string> apps;
+  std::vector<OptimizationPreset> presets;
+  std::vector<KivatiMode> modes;
+  std::vector<std::uint64_t> seeds;
+  std::vector<unsigned> cores_list;
+  std::vector<unsigned> watchpoints_list;
+  bool with_vanilla = false;
+  unsigned jobs = 0;  // 0 = all host cores
+  int app_workers = 4;
+  int app_iterations = 250;
 };
 
 [[noreturn]] void Fail(const std::string& message) {
@@ -90,111 +130,270 @@ std::string ReadFile(const std::string& path) {
   return buffer.str();
 }
 
-std::vector<std::pair<std::string, std::uint64_t>> ParseThreads(const std::string& spec) {
+// Strict thread-list parser: f or f:ARG items, ARG a whole unsigned integer.
+std::string ParseThreadsSpec(const std::string& spec,
+                             std::vector<std::pair<std::string, std::uint64_t>>* out) {
   std::vector<std::pair<std::string, std::uint64_t>> threads;
   std::stringstream stream(spec);
   std::string item;
   while (std::getline(stream, item, ',')) {
     const std::size_t colon = item.find(':');
-    if (colon == std::string::npos) {
-      threads.emplace_back(item, 0);
-    } else {
-      threads.emplace_back(item.substr(0, colon),
-                           std::strtoull(item.c_str() + colon + 1, nullptr, 0));
+    const std::string name = item.substr(0, colon);
+    if (name.empty()) {
+      return "--threads: empty thread function in '" + spec + "'";
     }
+    std::uint64_t arg = 0;
+    if (colon != std::string::npos &&
+        !exp::ParseU64(item.substr(colon + 1), &arg)) {
+      return "--threads: '" + item.substr(colon + 1) + "' is not a valid argument in '" +
+             item + "'";
+    }
+    threads.emplace_back(name, arg);
   }
-  return threads;
+  if (threads.empty()) {
+    return "--threads: no threads in '" + spec + "'";
+  }
+  *out = std::move(threads);
+  return {};
+}
+
+// Splits a comma-separated list (no expansion, no empties).
+std::string SplitCsv(const std::string& text, std::vector<std::string>* out) {
+  std::vector<std::string> items;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) {
+      return "empty item in '" + text + "'";
+    }
+    items.push_back(item);
+  }
+  if (items.empty()) {
+    return "empty list";
+  }
+  *out = std::move(items);
+  return {};
+}
+
+// --- Option tables -----------------------------------------------------------
+//
+// One declarative table per command, assembled from shared blocks. Handlers
+// write straight into CliOptions; validation (type, whole-token, range)
+// happens in the table so no command ever sees a silently garbled value.
+
+void AddAnnotatorOptions(exp::OptionTable& table, CliOptions& options) {
+  table.Flag("--interprocedural", &options.annotator.interprocedural,
+             "annotator: regions spanning calls");
+  table.Flag("--precise-aliasing", &options.annotator.precise_aliasing,
+             "annotator: alias/element precision");
+}
+
+void AddConfigOptions(exp::OptionTable& table, CliOptions& options) {
+  table.Value("--mode", "prevention|bug-finding", [&options](const std::string& value) {
+    return exp::ParseMode(value, &options.mode)
+               ? std::string()
+               : "unknown mode '" + value + "'";
+  });
+  table.Value("--preset", "base|null|syncvars|optimized", [&options](const std::string& value) {
+    return exp::ParsePreset(value, &options.preset)
+               ? std::string()
+               : "unknown preset '" + value + "'";
+  });
+  table.Flag("--vanilla", &options.vanilla, "run without Kivati protection");
+  table.Value("--max-cycles", "virtual cycle budget", [&options](const std::string& value) {
+    std::uint64_t parsed = 0;
+    if (!exp::ParseU64(value, &parsed) || parsed == 0) {
+      return "--max-cycles: '" + value + "' is not a positive integer";
+    }
+    options.max_cycles = parsed;
+    return std::string();
+  });
+  table.String("--whitelist", &options.whitelist_path, "load AR whitelist from FILE");
+  table.Double("--pause-ms", &options.pause_ms, "bug-finding pause length", 0.0, 1e9);
+  AddAnnotatorOptions(table, options);
+}
+
+void AddSingleRunOptions(exp::OptionTable& table, CliOptions& options) {
+  table.Value("--threads", "f[:arg][,f[:arg]...]", [&options](const std::string& value) {
+    return ParseThreadsSpec(value, &options.threads);
+  });
+  table.Unsigned("--cores", &options.cores, "simulated cores", 1, 256);
+  table.Unsigned("--watchpoints", &options.watchpoints, "watchpoint registers per core", 1,
+                 kMaxWatchpointCount);
+  table.U64("--seed", &options.seed, "scheduler seed");
+  table.Flag("--verbose", &options.verbose, "print every violation record");
+}
+
+exp::OptionTable RunTable(CliOptions& options) {
+  exp::OptionTable table;
+  AddConfigOptions(table, options);
+  AddSingleRunOptions(table, options);
+  table.String("--json", &options.json_path, "write the run as JSON ('-' = stdout)");
+  table.String("--trace-out", &options.trace_out_path, "write the structured event trace");
+  table.String("--trace-events", &options.trace_events, "event kinds to record");
+  table.Size("--trace-limit", &options.trace_limit, "event ring-buffer capacity", 1);
+  return table;
+}
+
+exp::OptionTable TrainTable(CliOptions& options) {
+  exp::OptionTable table;
+  AddConfigOptions(table, options);
+  AddSingleRunOptions(table, options);
+  table.String("--save-whitelist", &options.save_whitelist_path, "write the trained whitelist");
+  table.Int("--iterations", &options.iterations, "training iterations", 1, 1'000'000);
+  return table;
+}
+
+exp::OptionTable AnnotateTable(CliOptions& options) {
+  exp::OptionTable table;
+  table.Flag("--disasm", &options.disasm, "print the annotated machine code");
+  AddAnnotatorOptions(table, options);
+  return table;
+}
+
+exp::OptionTable SweepTable(CliOptions& options) {
+  exp::OptionTable table;
+  AddConfigOptions(table, options);
+  table.Value("--threads", "f[:arg][,...] (FILE sweeps)", [&options](const std::string& value) {
+    return ParseThreadsSpec(value, &options.threads);
+  });
+  table.Value("--apps", "registered apps to sweep", [&options](const std::string& value) {
+    std::vector<std::string> apps;
+    const std::string error = SplitCsv(value, &apps);
+    if (!error.empty()) {
+      return "--apps: " + error;
+    }
+    for (const std::string& app : apps) {
+      bool known = false;
+      for (const std::string& name : exp::RegisteredApps()) {
+        known = known || name == app;
+      }
+      if (!known) {
+        return "--apps: unknown app '" + app + "'";
+      }
+    }
+    options.apps = std::move(apps);
+    return std::string();
+  });
+  table.Value("--presets", "configurations to sweep", [&options](const std::string& value) {
+    std::vector<std::string> items;
+    const std::string error = SplitCsv(value, &items);
+    if (!error.empty()) {
+      return "--presets: " + error;
+    }
+    std::vector<OptimizationPreset> presets;
+    for (const std::string& item : items) {
+      OptimizationPreset preset;
+      if (!exp::ParsePreset(item, &preset)) {
+        return "--presets: unknown preset '" + item + "'";
+      }
+      presets.push_back(preset);
+    }
+    options.presets = std::move(presets);
+    return std::string();
+  });
+  table.Value("--modes", "modes to sweep", [&options](const std::string& value) {
+    std::vector<std::string> items;
+    const std::string error = SplitCsv(value, &items);
+    if (!error.empty()) {
+      return "--modes: " + error;
+    }
+    std::vector<KivatiMode> modes;
+    for (const std::string& item : items) {
+      KivatiMode mode;
+      if (!exp::ParseMode(item, &mode)) {
+        return "--modes: unknown mode '" + item + "'";
+      }
+      modes.push_back(mode);
+    }
+    options.modes = std::move(modes);
+    return std::string();
+  });
+  table.Value("--seeds", "seed list; '..' expands ranges", [&options](const std::string& value) {
+    return exp::ParseU64List(value, &options.seeds)
+               ? std::string()
+               : "--seeds: '" + value + "' is not a seed list";
+  });
+  auto unsigned_list = [](const std::string& name, const std::string& value, unsigned min,
+                          unsigned max, std::vector<unsigned>* out) {
+    std::vector<std::uint64_t> parsed;
+    if (!exp::ParseU64List(value, &parsed)) {
+      return name + ": '" + value + "' is not an integer list";
+    }
+    std::vector<unsigned> values;
+    for (const std::uint64_t v : parsed) {
+      if (v < min || v > max) {
+        return name + ": " + std::to_string(v) + " is out of range [" + std::to_string(min) +
+               ", " + std::to_string(max) + "]";
+      }
+      values.push_back(static_cast<unsigned>(v));
+    }
+    *out = std::move(values);
+    return std::string();
+  };
+  table.Value("--cores", "core counts to sweep", [&options, unsigned_list](const std::string& value) {
+    return unsigned_list("--cores", value, 1, 256, &options.cores_list);
+  });
+  table.Value("--watchpoints", "watchpoint counts to sweep",
+              [&options, unsigned_list](const std::string& value) {
+                return unsigned_list("--watchpoints", value, 1, kMaxWatchpointCount,
+                                     &options.watchpoints_list);
+              });
+  table.Flag("--with-vanilla", &options.with_vanilla, "add unprotected baselines");
+  table.Unsigned("--jobs", &options.jobs, "worker threads (default: host cores)", 1, 1024);
+  table.Value("-j", "worker threads", [&options](const std::string& value) {
+    std::uint64_t parsed = 0;
+    if (!exp::ParseU64(value, &parsed) || parsed == 0 || parsed > 1024) {
+      return "-j: '" + value + "' is not a worker count in [1, 1024]";
+    }
+    options.jobs = static_cast<unsigned>(parsed);
+    return std::string();
+  });
+  table.String("--json", &options.json_path, "write the sweep report ('-' = stdout)");
+  table.Int("--app-workers", &options.app_workers, "app thread-count scale", 1, 256);
+  table.Int("--app-iterations", &options.app_iterations, "app iteration scale", 1, 100'000'000);
+  return table;
 }
 
 CliOptions ParseArgs(int argc, char** argv) {
   CliOptions options;
-  if (argc < 3) {
-    Fail("usage: kivati annotate|run|train FILE [options] (see the header comment)");
+  if (argc < 2) {
+    Fail("usage: kivati annotate|run|train|sweep [FILE] [options] "
+         "(see the header comment)");
   }
   options.command = argv[1];
-  options.file = argv[2];
-  // Accept both "--option value" and "--option=value".
-  std::vector<std::string> args;
-  for (int i = 3; i < argc; ++i) {
-    const std::string raw = argv[i];
-    const std::size_t eq = raw.find('=');
-    if (raw.size() > 2 && raw[0] == '-' && raw[1] == '-' && eq != std::string::npos) {
-      args.push_back(raw.substr(0, eq));
-      args.push_back(raw.substr(eq + 1));
-    } else {
-      args.push_back(raw);
+  int first_option = 2;
+  const bool needs_file =
+      options.command == "annotate" || options.command == "run" || options.command == "train";
+  if (needs_file) {
+    if (argc < 3 || argv[2][0] == '-') {
+      Fail("usage: kivati " + options.command + " FILE [options]");
+    }
+    options.file = argv[2];
+    first_option = 3;
+  } else if (options.command == "sweep") {
+    // sweep takes an optional source FILE; --apps is the alternative.
+    if (argc >= 3 && argv[2][0] != '-') {
+      options.file = argv[2];
+      first_option = 3;
     }
   }
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    const std::string arg = args[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= args.size()) {
-        Fail("missing value for " + arg);
-      }
-      return args[++i];
-    };
-    if (arg == "--threads") {
-      options.threads = ParseThreads(next());
-    } else if (arg == "--mode") {
-      const std::string mode = next();
-      if (mode == "prevention") {
-        options.mode = KivatiMode::kPrevention;
-      } else if (mode == "bug-finding" || mode == "bugfinding") {
-        options.mode = KivatiMode::kBugFinding;
-      } else {
-        Fail("unknown mode '" + mode + "'");
-      }
-    } else if (arg == "--preset") {
-      const std::string preset = next();
-      if (preset == "base") {
-        options.preset = OptimizationPreset::kBase;
-      } else if (preset == "null") {
-        options.preset = OptimizationPreset::kNullSyscall;
-      } else if (preset == "syncvars") {
-        options.preset = OptimizationPreset::kSyncVars;
-      } else if (preset == "optimized") {
-        options.preset = OptimizationPreset::kOptimized;
-      } else {
-        Fail("unknown preset '" + preset + "'");
-      }
-    } else if (arg == "--vanilla") {
-      options.vanilla = true;
-    } else if (arg == "--disasm") {
-      options.disasm = true;
-    } else if (arg == "--verbose") {
-      options.verbose = true;
-    } else if (arg == "--cores") {
-      options.cores = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 0));
-    } else if (arg == "--watchpoints") {
-      options.watchpoints = static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 0));
-    } else if (arg == "--seed") {
-      options.seed = std::strtoull(next().c_str(), nullptr, 0);
-    } else if (arg == "--max-cycles") {
-      options.max_cycles = std::strtoull(next().c_str(), nullptr, 0);
-    } else if (arg == "--whitelist") {
-      options.whitelist_path = next();
-    } else if (arg == "--save-whitelist") {
-      options.save_whitelist_path = next();
-    } else if (arg == "--iterations") {
-      options.iterations = std::atoi(next().c_str());
-    } else if (arg == "--pause-ms") {
-      options.pause_ms = std::atof(next().c_str());
-    } else if (arg == "--interprocedural") {
-      options.annotator.interprocedural = true;
-    } else if (arg == "--precise-aliasing") {
-      options.annotator.precise_aliasing = true;
-    } else if (arg == "--trace-out") {
-      options.trace_out_path = next();
-    } else if (arg == "--trace-events") {
-      options.trace_events = next();
-    } else if (arg == "--trace-limit") {
-      options.trace_limit = std::strtoull(next().c_str(), nullptr, 0);
-      if (options.trace_limit == 0) {
-        Fail("--trace-limit must be positive");
-      }
-    } else {
-      Fail("unknown option '" + arg + "'");
-    }
+
+  exp::OptionTable table;
+  if (options.command == "annotate") {
+    table = AnnotateTable(options);
+  } else if (options.command == "run") {
+    table = RunTable(options);
+  } else if (options.command == "train") {
+    table = TrainTable(options);
+  } else if (options.command == "sweep") {
+    table = SweepTable(options);
+  } else {
+    Fail("unknown command '" + options.command + "'");
+  }
+  const std::string error = table.Parse(argc, argv, first_option);
+  if (!error.empty()) {
+    Fail(error);
   }
   if (options.threads.empty()) {
     options.threads.emplace_back("main", 0);
@@ -202,14 +401,28 @@ CliOptions ParseArgs(int argc, char** argv) {
   return options;
 }
 
-CompiledProgram CompileFile(const CliOptions& options) {
-  CompileOptions compile_options;
-  compile_options.annotator = options.annotator;
-  return CompileSource(ReadFile(options.file), compile_options);
+// The RunSpec implied by the single-run (run/train) options.
+exp::RunSpec SpecFromOptions(const CliOptions& options) {
+  exp::RunSpec spec;
+  spec.source_path = options.file;
+  spec.threads = options.threads;
+  spec.scale.annotator = options.annotator;
+  spec.machine.num_cores = options.cores;
+  spec.machine.watchpoints_per_core = options.watchpoints;
+  spec.machine.seed = options.seed;
+  spec.vanilla = options.vanilla;
+  spec.preset = options.preset;
+  spec.mode = options.mode;
+  spec.pause_ms = options.pause_ms;
+  spec.whitelist_path = options.whitelist_path;
+  spec.budget = options.max_cycles.value_or(200'000'000);
+  return spec;
 }
 
 int Annotate(const CliOptions& options) {
-  const CompiledProgram compiled = CompileFile(options);
+  CompileOptions compile_options;
+  compile_options.annotator = options.annotator;
+  const CompiledProgram compiled = CompileSource(ReadFile(options.file), compile_options);
   std::printf("%zu atomic region(s):\n", compiled.num_ars);
   for (const ArDebugInfo& info : compiled.ar_infos) {
     std::printf("  AR %-4u %-24s variable '%s'%s\n", info.id,
@@ -222,48 +435,25 @@ int Annotate(const CliOptions& options) {
   return 0;
 }
 
-Workload MakeWorkload(const CliOptions& options, const CompiledProgram& compiled) {
-  Workload workload;
-  workload.name = options.file;
-  workload.program = compiled.program;
-  workload.threads = options.threads;
-  workload.init = [&compiled](AddressSpace& memory) { compiled.InitMemory(memory); };
-  workload.sync_var_ars = compiled.sync_ars;
-  workload.default_max_cycles = options.max_cycles;
-  return workload;
-}
-
-EngineOptions MakeEngineOptions(const CliOptions& options) {
-  EngineOptions engine_options;
-  engine_options.machine.num_cores = options.cores;
-  engine_options.machine.watchpoints_per_core = options.watchpoints;
-  engine_options.machine.seed = options.seed;
-  if (!options.vanilla) {
-    KivatiConfig config = KivatiConfig::PresetFor(options.preset, options.mode);
-    config.bugfinding_pause_ms = options.pause_ms;
-    if (!options.whitelist_path.empty()) {
-      Whitelist whitelist;
-      if (!whitelist.LoadFromFile(options.whitelist_path)) {
-        Fail("cannot read whitelist '" + options.whitelist_path + "'");
-      }
-      config.whitelist = whitelist.ids();
-    }
-    engine_options.kivati = config;
-    engine_options.whitelist_sync_vars = options.preset == OptimizationPreset::kSyncVars ||
-                                         options.preset == OptimizationPreset::kOptimized;
+void WriteJsonOutput(const std::string& path, const std::string& json) {
+  if (path == "-") {
+    std::fputs(json.c_str(), stdout);
+    return;
   }
-  return engine_options;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    Fail("cannot write '" + path + "'");
+  }
+  out << json;
+  if (!out) {
+    Fail("error writing '" + path + "'");
+  }
 }
 
 int Run(const CliOptions& options) {
-  const CompiledProgram compiled = CompileFile(options);
-  for (const auto& [function, arg] : options.threads) {
-    if (compiled.program.FindFunction(function) == nullptr) {
-      Fail("no function '" + function + "' in " + options.file);
-    }
-  }
-  const Workload workload = MakeWorkload(options, compiled);
-  Engine engine(workload, MakeEngineOptions(options));
+  const exp::RunSpec spec = SpecFromOptions(options);
+  exp::BuiltRun built = exp::BuildEngine(spec);
+  Engine& engine = *built.engine;
   if (!options.trace_out_path.empty()) {
     std::string error;
     const auto mask = ParseEventKindMask(options.trace_events, &error);
@@ -272,7 +462,11 @@ int Run(const CliOptions& options) {
     }
     engine.trace().events().Enable(options.trace_limit, *mask);
   }
-  const RunResult result = engine.Run();
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult result = engine.Run(spec.budget);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
   if (!options.trace_out_path.empty()) {
     const EventLog& events = engine.trace().events();
     std::ofstream out(options.trace_out_path, std::ios::trunc);
@@ -292,17 +486,18 @@ int Run(const CliOptions& options) {
                  static_cast<unsigned long long>(events.dropped()));
   }
 
-  std::printf("run: %llu cycles, %llu instructions, %s\n",
-              static_cast<unsigned long long>(result.cycles),
-              static_cast<unsigned long long>(result.instructions),
-              result.all_done      ? "completed"
-              : result.deadlocked  ? "DEADLOCKED"
-                                   : "hit cycle budget");
-  const RuntimeStats& stats = engine.trace().stats();
+  // Keep stdout pure JSON under `--json -`: the human report moves to stderr.
+  FILE* human = options.json_path == "-" ? stderr : stdout;
+  std::fprintf(human, "run: %llu cycles, %llu instructions, %s\n",
+               static_cast<unsigned long long>(result.cycles),
+               static_cast<unsigned long long>(result.instructions),
+               result.all_done      ? "completed"
+               : result.deadlocked  ? "DEADLOCKED"
+                                    : "hit cycle budget");
+  const CompiledProgram& compiled = *built.app->compiled;
   if (!options.vanilla) {
-    const double seconds =
-        engine.machine().costs().ToSeconds(result.cycles);
-    std::printf("%s", FormatStatsSummary(stats, seconds).c_str());
+    const double seconds = engine.machine().costs().ToSeconds(result.cycles);
+    std::fprintf(human, "%s", FormatStatsSummary(engine.trace().stats(), seconds).c_str());
     const ArSymbolizer symbolizer = [&compiled](ArId ar) -> std::string {
       if (ar == kInvalidAr || ar == 0 || ar > compiled.ar_infos.size()) {
         return {};
@@ -310,20 +505,25 @@ int Run(const CliOptions& options) {
       const ArDebugInfo& info = compiled.ar_infos[ar - 1];
       return info.variable + " in " + info.function + "()";
     };
-    std::printf("%s", FormatViolationReport(engine.trace(), symbolizer).c_str());
+    std::fprintf(human, "%s", FormatViolationReport(engine.trace(), symbolizer).c_str());
     if (options.verbose) {
       for (const ViolationRecord& v : engine.trace().violations()) {
-        std::printf("  %s\n", ToString(v).c_str());
+        std::fprintf(human, "  %s\n", ToString(v).c_str());
       }
     }
+  }
+  if (!options.json_path.empty()) {
+    exp::RunRecord record = exp::MakeRecord(spec, *built.app, engine, result);
+    record.wall_ms = wall_ms;
+    WriteJsonOutput(options.json_path, exp::ToJson(record) + "\n");
   }
   return result.deadlocked ? 1 : 0;
 }
 
 int TrainCommand(const CliOptions& options) {
-  const CompiledProgram compiled = CompileFile(options);
-  const Workload workload = MakeWorkload(options, compiled);
-  const EngineOptions engine_options = MakeEngineOptions(options);
+  const exp::RunSpec spec = SpecFromOptions(options);
+  const std::shared_ptr<const apps::App> app = exp::ResolveApp(spec);
+  const EngineOptions engine_options = exp::MakeEngineOptions(spec);
   if (!engine_options.kivati.has_value()) {
     Fail("train requires Kivati (drop --vanilla)");
   }
@@ -332,7 +532,7 @@ int TrainCommand(const CliOptions& options) {
   training.kivati = *engine_options.kivati;
   training.whitelist_sync_vars = engine_options.whitelist_sync_vars;
   training.iterations = options.iterations;
-  const TrainingResult result = Train(workload, training);
+  const TrainingResult result = Train(app->workload, training);
   std::printf("false positives per iteration:");
   for (const std::size_t fp : result.false_positives) {
     std::printf(" %zu", fp);
@@ -347,6 +547,79 @@ int TrainCommand(const CliOptions& options) {
   return 0;
 }
 
+int Sweep(const CliOptions& options) {
+  exp::SpecGrid grid;
+  if (!options.file.empty()) {
+    if (!options.apps.empty()) {
+      Fail("sweep takes either a source FILE or --apps, not both");
+    }
+    grid.base.source_path = options.file;
+    grid.base.threads = options.threads;
+  } else if (!options.apps.empty()) {
+    grid.apps = options.apps;
+  } else {
+    Fail("sweep needs --apps or a source FILE");
+  }
+  grid.base.scale.workers = options.app_workers;
+  grid.base.scale.iterations = options.app_iterations;
+  grid.base.scale.annotator = options.annotator;
+  grid.base.pause_ms = options.pause_ms;
+  grid.base.whitelist_path = options.whitelist_path;
+  grid.base.budget = options.max_cycles;
+  grid.base.preset = options.preset;
+  grid.base.mode = options.mode;
+  grid.base.vanilla = options.vanilla;
+  grid.seeds = options.seeds;
+  grid.presets = options.presets;
+  grid.modes = options.modes;
+  grid.cores = options.cores_list;
+  grid.watchpoints = options.watchpoints_list;
+  grid.include_vanilla = options.with_vanilla;
+  const std::vector<exp::RunSpec> specs = grid.Expand();
+  if (specs.empty()) {
+    Fail("sweep grid is empty");
+  }
+
+  exp::RunnerOptions runner_options;
+  runner_options.workers = options.jobs;
+  runner_options.progress = [](const exp::RunRecord& record, std::size_t done,
+                               std::size_t total) {
+    if (!record.error.empty()) {
+      std::fprintf(stderr, "[%zu/%zu] %s: ERROR %s\n", done, total, record.label.c_str(),
+                   record.error.c_str());
+      return;
+    }
+    std::fprintf(stderr, "[%zu/%zu] %s: %llu cycles, %zu violation(s), %.0f ms\n", done, total,
+                 record.label.c_str(), static_cast<unsigned long long>(record.cycles),
+                 record.violations, record.wall_ms);
+  };
+  exp::ExperimentRunner runner(runner_options);
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<exp::RunRecord> records = runner.RunAll(specs);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::size_t errors = 0;
+  for (const exp::RunRecord& record : records) {
+    errors += record.error.empty() ? 0 : 1;
+  }
+  // Keep stdout pure JSON under `--json -`: the human summary joins the
+  // progress lines on stderr in that case.
+  std::fprintf(options.json_path == "-" ? stderr : stdout,
+               "sweep: %zu run(s) on %u worker(s) in %.0f ms (%zu error(s))\n", records.size(),
+               runner.workers(), wall_ms, errors);
+  if (!options.json_path.empty()) {
+    WriteJsonOutput(options.json_path,
+                    exp::SweepReportJson(records, runner.workers(), wall_ms));
+    if (options.json_path != "-") {
+      std::printf("report written to %s\n", options.json_path.c_str());
+    }
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 int Main(int argc, char** argv) {
   const CliOptions options = ParseArgs(argc, argv);
   try {
@@ -358,6 +631,9 @@ int Main(int argc, char** argv) {
     }
     if (options.command == "train") {
       return TrainCommand(options);
+    }
+    if (options.command == "sweep") {
+      return Sweep(options);
     }
   } catch (const std::exception& e) {
     Fail(e.what());
