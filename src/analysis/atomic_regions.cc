@@ -290,6 +290,10 @@ class PairAnalysis {
                           ? module_.globals[static_cast<std::size_t>(ar.var.index)].name
                           : function_.locals[static_cast<std::size_t>(ar.var.index)].name;
       info.line = function_.ops[static_cast<std::size_t>(ar.first_op)].line;
+      info.first_type = ar.first_type;
+      info.watch = ar.watch;
+      info.is_sync = ar.is_sync;
+      info.num_ends = static_cast<int>(ar.ends.size());
       infos.push_back(info);
       annotations.ars.push_back(std::move(ar));
     }
@@ -356,12 +360,18 @@ std::vector<GlobalAccessSummary> ComputeCallSummaries(const MirModule& module) {
 ModuleAnnotations Annotate(const MirModule& module, const AnnotateOptions& options) {
   ModuleAnnotations annotations;
   std::vector<GlobalAccessSummary> summaries;
+  ReturnSharedness returns;
   if (options.interprocedural) {
     summaries = ComputeCallSummaries(module);
+    returns = ComputeReturnSharedness(module);
   }
   ArId next_id = 1;
   for (std::size_t f = 0; f < module.functions.size(); ++f) {
-    const LsvResult lsv = ComputeLsv(module.functions[f]);
+    // With inter-procedural summaries available, call results seed the LSV
+    // only when the callee may actually return a pointer or shared value.
+    const LsvResult lsv = options.interprocedural
+                              ? ComputeLsv(module.functions[f], module, returns)
+                              : ComputeLsv(module.functions[f]);
     annotations.functions.push_back(
         PairAnalysis(module, f, lsv, options, options.interprocedural ? &summaries : nullptr)
             .Run(next_id, annotations.sync_ars, annotations.infos));

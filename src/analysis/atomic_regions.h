@@ -46,6 +46,10 @@ struct ArDebugInfo {
   std::string function;
   std::string variable;
   int line = 0;
+  AccessType first_type = AccessType::kRead;
+  WatchType watch = WatchType::kNone;  // remote watch condition (Figure 6)
+  bool is_sync = false;
+  int num_ends = 0;  // end_atomic sites of the region
 };
 
 struct ModuleAnnotations {

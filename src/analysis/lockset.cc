@@ -1,0 +1,218 @@
+#include "analysis/lockset.h"
+
+#include <algorithm>
+
+namespace kivati {
+namespace {
+
+// Intersection in place; returns true if `into` changed.
+bool IntersectInto(std::set<int>& into, const std::set<int>& with) {
+  bool changed = false;
+  for (auto it = into.begin(); it != into.end();) {
+    if (!with.contains(*it)) {
+      it = into.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  return changed;
+}
+
+// Applies op's lock effects to `held` (which locks survive past the op).
+// Returns false if the effect is unanalyzable and the set must be cleared.
+void ApplyKills(const MirModule& module, const MirOp& op, const LockSummaries& summaries,
+                std::set<int>& held) {
+  switch (op.kind) {
+    case MirOp::Kind::kUnlock:
+      held.erase(op.global);
+      break;
+    case MirOp::Kind::kCall: {
+      const MirFunction* callee = module.FindFunction(op.callee);
+      if (callee == nullptr) {
+        held.clear();  // unresolvable callee: assume it may release anything
+        break;
+      }
+      const std::size_t c = static_cast<std::size_t>(callee - module.functions.data());
+      for (const int lock : summaries.may_unlock[c]) {
+        held.erase(lock);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+LockSummaries ComputeLockSummaries(const MirModule& module) {
+  LockSummaries summaries;
+  summaries.may_unlock.assign(module.functions.size(), {});
+
+  // Trusted locks: used in lock()/unlock() and nowhere else.
+  std::set<int> lock_words;
+  std::set<int> tainted;
+  for (const MirFunction& function : module.functions) {
+    for (const MirOp& op : function.ops) {
+      switch (op.kind) {
+        case MirOp::Kind::kLock:
+        case MirOp::Kind::kUnlock:
+          lock_words.insert(op.global);
+          break;
+        case MirOp::Kind::kLoadGlobal:
+        case MirOp::Kind::kStoreGlobal:
+        case MirOp::Kind::kAddrGlobal:
+          tainted.insert(op.global);
+          break;
+        case MirOp::Kind::kLoadIndex:
+        case MirOp::Kind::kStoreIndex:
+        case MirOp::Kind::kAddrIndex:
+          if (op.array.space == VarRef::Space::kGlobal) {
+            tainted.insert(op.array.index);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  std::set_difference(lock_words.begin(), lock_words.end(), tainted.begin(), tainted.end(),
+                      std::inserter(summaries.trusted_locks, summaries.trusted_locks.end()));
+
+  // may_unlock to a fixed point over the call graph (handles recursion). A
+  // function calling an unresolvable name may release every trusted lock.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t f = 0; f < module.functions.size(); ++f) {
+      std::set<int>& mine = summaries.may_unlock[f];
+      const std::size_t before = mine.size();
+      for (const MirOp& op : module.functions[f].ops) {
+        if (op.kind == MirOp::Kind::kUnlock) {
+          mine.insert(op.global);
+        } else if (op.kind == MirOp::Kind::kCall) {
+          const MirFunction* callee = module.FindFunction(op.callee);
+          if (callee == nullptr) {
+            mine.insert(summaries.trusted_locks.begin(), summaries.trusted_locks.end());
+          } else {
+            const std::size_t c = static_cast<std::size_t>(callee - module.functions.data());
+            mine.insert(summaries.may_unlock[c].begin(), summaries.may_unlock[c].end());
+          }
+        }
+      }
+      changed |= mine.size() != before;
+    }
+  }
+  return summaries;
+}
+
+std::vector<std::set<int>> ComputeMustHeld(const MirModule& module, const MirFunction& function,
+                                           const LockSummaries& summaries) {
+  const std::size_t n = function.ops.size();
+  // Top = all trusted locks; the entry op is pinned to the empty set.
+  std::vector<std::set<int>> in(n, summaries.trusted_locks);
+  if (n == 0) {
+    return in;
+  }
+  in[0].clear();
+
+  std::vector<std::vector<std::size_t>> preds(n);
+  std::vector<std::size_t> succs;
+  for (std::size_t i = 0; i < n; ++i) {
+    SuccessorsOf(function, i, succs);
+    for (const std::size_t s : succs) {
+      preds[s].push_back(i);
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::set<int> merged;
+      if (i == 0) {
+        // Entry: callers may hold locks, but assuming none is the sound
+        // direction for a must analysis.
+        merged.clear();
+      } else if (preds[i].empty()) {
+        // Unreachable op: keep top (never executes).
+        continue;
+      } else {
+        bool first = true;
+        for (const std::size_t p : preds[i]) {
+          std::set<int> out = in[p];
+          const MirOp& op = function.ops[p];
+          if (op.kind == MirOp::Kind::kLock && summaries.trusted_locks.contains(op.global)) {
+            out.insert(op.global);
+          }
+          ApplyKills(module, op, summaries, out);
+          if (first) {
+            merged = std::move(out);
+            first = false;
+          } else {
+            IntersectInto(merged, out);
+          }
+        }
+      }
+      if (merged != in[i]) {
+        in[i] = std::move(merged);
+        changed = true;
+      }
+    }
+  }
+  return in;
+}
+
+std::set<int> LocksHeldAcross(const MirModule& module, const MirFunction& function,
+                              const LockSummaries& summaries,
+                              const std::vector<std::set<int>>& must_held, int from,
+                              const std::vector<int>& to) {
+  const std::size_t n = function.ops.size();
+  const std::set<int>& start = must_held[static_cast<std::size_t>(from)];
+  if (start.empty() || to.empty()) {
+    return {};
+  }
+  // Forward flow from `from`: value[i] = subset of `start` never released on
+  // some path from `from` to the entry of op i. `from` itself is pinned to
+  // `start` — a path that revisits it restarts the atomic region's window.
+  std::vector<std::set<int>> value(n, start);  // top for not-yet-reached
+  std::vector<bool> reached(n, false);
+  reached[static_cast<std::size_t>(from)] = true;
+
+  std::vector<std::size_t> succs;
+  std::vector<std::size_t> worklist{static_cast<std::size_t>(from)};
+  while (!worklist.empty()) {
+    const std::size_t i = worklist.back();
+    worklist.pop_back();
+    std::set<int> out = value[i];
+    ApplyKills(module, function.ops[i], summaries, out);
+    if (function.ops[i].kind == MirOp::Kind::kUnlock) {
+      out.erase(function.ops[i].global);
+    }
+    SuccessorsOf(function, i, succs);
+    for (const std::size_t s : succs) {
+      if (s == static_cast<std::size_t>(from)) {
+        continue;  // window restarts at the first access
+      }
+      if (!reached[s]) {
+        reached[s] = true;
+        value[s] = out;
+        worklist.push_back(s);
+      } else if (IntersectInto(value[s], out)) {
+        worklist.push_back(s);
+      }
+    }
+  }
+
+  std::set<int> result = start;
+  for (const int end : to) {
+    if (!reached[static_cast<std::size_t>(end)]) {
+      continue;  // no path from first access to this end: vacuously held
+    }
+    IntersectInto(result, value[static_cast<std::size_t>(end)]);
+  }
+  return result;
+}
+
+}  // namespace kivati

@@ -1,0 +1,59 @@
+// Eraser-style lockset analysis over the lock/unlock intrinsics.
+//
+// Three pieces feed the conflict analysis (analysis/conflict.h):
+//
+//  * LockSummaries — per function, which lock globals a call to it may
+//    (transitively) release, and which lock globals qualify as locks at all
+//    (used only via lock()/unlock(); a lock word that is also stored to or
+//    address-taken cannot guarantee mutual exclusion and is disqualified).
+//  * ComputeMustHeld — per op, the set of locks certainly held when the op
+//    executes (intersection over all paths; function entry assumed
+//    lock-free, which under-approximates and is therefore sound).
+//  * LocksHeldAcross — the locks held *continuously* from one op to a set of
+//    later ops. Must-held at both endpoints is not enough for atomicity: an
+//    unlock/relock between the two accesses of an atomic region opens a
+//    window for a remote lock-protected access, so continuity is what the
+//    lock-protected verdict requires.
+#ifndef KIVATI_ANALYSIS_LOCKSET_H_
+#define KIVATI_ANALYSIS_LOCKSET_H_
+
+#include <set>
+#include <vector>
+
+#include "analysis/mir.h"
+
+namespace kivati {
+
+struct LockSummaries {
+  // Global indices that appear as lock()/unlock() operands and are never
+  // accessed any other way (no direct load/store, not address-taken): only
+  // these provide mutual exclusion the analysis can rely on.
+  std::set<int> trusted_locks;
+
+  // Parallel to module.functions: lock globals a call to the function may
+  // release, transitively through its callees. A call to a function with an
+  // unresolvable callee somewhere below it pessimistically may release
+  // every lock.
+  std::vector<std::set<int>> may_unlock;
+};
+
+LockSummaries ComputeLockSummaries(const MirModule& module);
+
+// result[i] = trusted locks certainly held at the entry of op i (before it
+// executes). Intersection over paths; entry of the function holds nothing.
+std::vector<std::set<int>> ComputeMustHeld(const MirModule& module, const MirFunction& function,
+                                           const LockSummaries& summaries);
+
+// The subset of `must_held[from]` that survives — is never released — along
+// every path from op `from` to each op in `to` (evaluated at the entry of
+// each target op). Paths that loop back through `from` restart the window,
+// matching begin_atomic semantics (the kernel tracks the most recent first
+// access).
+std::set<int> LocksHeldAcross(const MirModule& module, const MirFunction& function,
+                              const LockSummaries& summaries,
+                              const std::vector<std::set<int>>& must_held, int from,
+                              const std::vector<int>& to);
+
+}  // namespace kivati
+
+#endif  // KIVATI_ANALYSIS_LOCKSET_H_

@@ -1,8 +1,12 @@
 #include "analysis/lsv.h"
 
-namespace kivati {
+#include <functional>
 
-LsvResult ComputeLsv(const MirFunction& function) {
+namespace kivati {
+namespace {
+
+LsvResult ComputeLsvImpl(const MirFunction& function,
+                         const std::function<bool(const MirOp&)>& call_shared) {
   LsvResult result;
   result.local_in_lsv.assign(function.locals.size(), false);
   auto mark = [&result](int local) -> bool {
@@ -66,9 +70,8 @@ LsvResult ComputeLsv(const MirFunction& function) {
           source_shared = shared_local(op.local_mem);
           break;
         case MirOp::Kind::kCall:
-          // Pointers returned from called subroutines are seeds (§3.1);
-          // without return types every call result is conservatively shared.
-          source_shared = true;
+          // Pointers returned from called subroutines are seeds (§3.1).
+          source_shared = call_shared(op);
           break;
         default:
           break;
@@ -79,6 +82,57 @@ LsvResult ComputeLsv(const MirFunction& function) {
     }
   }
   return result;
+}
+
+}  // namespace
+
+LsvResult ComputeLsv(const MirFunction& function) {
+  // Without return-type information every call result is conservatively
+  // shared (what the paper's prototype does).
+  return ComputeLsvImpl(function, [](const MirOp&) { return true; });
+}
+
+LsvResult ComputeLsv(const MirFunction& function, const MirModule& module,
+                     const ReturnSharedness& returns) {
+  return ComputeLsvImpl(function, [&](const MirOp& op) {
+    const MirFunction* callee = module.FindFunction(op.callee);
+    if (callee == nullptr) {
+      return true;  // unresolvable (builtins never reach here, but stay safe)
+    }
+    return static_cast<bool>(
+        returns.returns_shared[static_cast<std::size_t>(callee - module.functions.data())]);
+  });
+}
+
+ReturnSharedness ComputeReturnSharedness(const MirModule& module) {
+  ReturnSharedness returns;
+  returns.returns_shared.assign(module.functions.size(), false);
+  // Seed: declared pointer returns always count (even `int *f() { return 0; }`
+  // — the caller will dereference the result).
+  for (std::size_t f = 0; f < module.functions.size(); ++f) {
+    returns.returns_shared[f] = module.functions[f].returns_pointer;
+  }
+  // Grow to a fixed point: marking a function shared can put more call
+  // results into its callers' LSVs, which can make their returns shared too.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t f = 0; f < module.functions.size(); ++f) {
+      if (returns.returns_shared[f] || !module.functions[f].returns_value) {
+        continue;
+      }
+      const LsvResult lsv = ComputeLsv(module.functions[f], module, returns);
+      for (const MirOp& op : module.functions[f].ops) {
+        if (op.kind == MirOp::Kind::kRet && op.a >= 0 &&
+            lsv.local_in_lsv[static_cast<std::size_t>(op.a)]) {
+          returns.returns_shared[f] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return returns;
 }
 
 }  // namespace kivati

@@ -30,7 +30,22 @@ struct LsvResult {
   }
 };
 
+// Conservative form: every call result is assumed shared (no return-type
+// information).
 LsvResult ComputeLsv(const MirFunction& function);
+
+// Which functions may return a shared value: a declared pointer return, or a
+// return operand data-flow dependent on a shared variable (computed to a
+// fixed point through the call graph). Unresolvable callees stay shared.
+struct ReturnSharedness {
+  std::vector<bool> returns_shared;  // parallel to module.functions
+};
+ReturnSharedness ComputeReturnSharedness(const MirModule& module);
+
+// Precise form used under inter-procedural analysis: only calls whose callee
+// may return a pointer or a shared-derived value seed the LSV.
+LsvResult ComputeLsv(const MirFunction& function, const MirModule& module,
+                     const ReturnSharedness& returns);
 
 }  // namespace kivati
 

@@ -101,6 +101,7 @@ struct MirOp {
 struct MirFunction {
   std::string name;
   bool returns_value = false;
+  bool returns_pointer = false;
   unsigned num_params = 0;
   std::vector<MirLocal> locals;  // params occupy the first num_params slots
   std::vector<MirOp> ops;

@@ -66,6 +66,7 @@ class FunctionLowerer {
   MirFunction Run() {
     out_.name = ast_.name;
     out_.returns_value = ast_.returns_value;
+    out_.returns_pointer = ast_.returns_pointer;
     out_.num_params = static_cast<unsigned>(ast_.params.size());
     if (out_.num_params > 4) {
       throw LoweringError("function '" + ast_.name + "' has more than 4 parameters");

@@ -163,10 +163,10 @@ const std::vector<BugInfo>& BugCorpus() {
   return *kCorpus;
 }
 
-App MakeBugApp(const BugInfo& bug) {
+App MakeBugApp(const BugInfo& bug, bool prune) {
   App app = AssembleApp(bug.app + " " + bug.id, BugSource(bug), "bug_thread",
                         /*workers=*/3, {bug.variable()},
-                        /*default_max_cycles=*/300'000'000);
+                        /*default_max_cycles=*/300'000'000, /*annotator=*/{}, prune);
   return app;
 }
 

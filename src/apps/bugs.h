@@ -50,8 +50,9 @@ const std::vector<BugInfo>& BugCorpus();
 
 // Builds the workload for one bug: a local thread that repeatedly applies
 // the triggering input, a remote thread that makes the interleaving access,
-// and a noise thread exercising unrelated shared state.
-App MakeBugApp(const BugInfo& bug);
+// and a noise thread exercising unrelated shared state. `prune` lets the
+// soundness suite compare runs with conflict-analysis pruning on and off.
+App MakeBugApp(const BugInfo& bug, bool prune = true);
 
 }  // namespace apps
 }  // namespace kivati

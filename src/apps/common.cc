@@ -17,10 +17,12 @@ std::unordered_set<ArId> ArsOnVariable(const CompiledProgram& compiled,
 App AssembleApp(const std::string& name, const std::string& source,
                 const std::string& worker_function, int workers,
                 const std::vector<std::string>& buggy_vars, Cycles default_max_cycles,
-                const AnnotateOptions& annotator) {
+                const AnnotateOptions& annotator, bool prune) {
   App app;
   CompileOptions compile_options;
   compile_options.annotator = annotator;
+  compile_options.conflict.prune = prune;
+  compile_options.conflict.roots.emplace_back(worker_function, workers);
   auto compiled = std::make_shared<CompiledProgram>(CompileSource(source, compile_options));
   app.workload.name = name;
   app.workload.program = compiled->program;
@@ -34,6 +36,11 @@ App AssembleApp(const std::string& name, const std::string& source,
     app.workload.buggy_ars.insert(ars.begin(), ars.end());
   }
   app.workload.default_max_cycles = default_max_cycles;
+  app.workload.ars_annotated = compiled->num_ars;
+  app.workload.ars_no_remote_writer = compiled->conflict.no_remote_writer;
+  app.workload.ars_lock_protected = compiled->conflict.lock_protected;
+  app.workload.ars_watch_required = compiled->conflict.watch_required;
+  app.workload.ars_pruned = compiled->conflict.pruned.size();
   app.compiled = std::move(compiled);
   return app;
 }

@@ -34,6 +34,9 @@ struct LoadScale {
   // Annotator configuration used when compiling the workload (defaults to
   // the paper's basic intra-procedural, name-based analysis).
   AnnotateOptions annotator;
+  // Drop annotations for ARs the conflict analysis proves unviolable
+  // (--no-prune sets this false).
+  bool prune = true;
 };
 
 // All AR ids whose shared variable is named `variable` (any function).
@@ -43,11 +46,13 @@ std::unordered_set<ArId> ArsOnVariable(const CompiledProgram& compiled,
 // Assembles an App: compiles `source`, creates `workers` threads running
 // `worker_function` with ids 0..workers-1, wires up memory initialization,
 // sync-var ARs and the buggy-AR set (ARs on any variable in `buggy_vars`).
+// The conflict analysis runs with `worker_function` × `workers` as the
+// thread roots; `prune` controls whether its verdicts drop annotations.
 App AssembleApp(const std::string& name, const std::string& source,
                 const std::string& worker_function, int workers,
                 const std::vector<std::string>& buggy_vars = {},
                 Cycles default_max_cycles = 400'000'000,
-                const AnnotateOptions& annotator = {});
+                const AnnotateOptions& annotator = {}, bool prune = true);
 
 }  // namespace apps
 }  // namespace kivati

@@ -39,12 +39,14 @@ bool SwapsOperands(BinOp op) { return op == BinOp::kGt || op == BinOp::kGe; }
 class FunctionCodegen {
  public:
   FunctionCodegen(ProgramBuilder& builder, const MirModule& module, const MirFunction& function,
-                  const FunctionAnnotations* annotations, bool emit_replica_stores)
+                  const FunctionAnnotations* annotations, bool emit_replica_stores,
+                  const std::unordered_set<ArId>* pruned)
       : b_(builder),
         module_(module),
         f_(function),
         annotations_(annotations),
-        emit_replica_(emit_replica_stores) {}
+        emit_replica_(emit_replica_stores),
+        pruned_(pruned) {}
 
   void Run() {
     LayoutFrame();
@@ -97,6 +99,9 @@ class FunctionCodegen {
       return;
     }
     for (const FunctionAr& ar : annotations_->ars) {
+      if (pruned_ != nullptr && pruned_->contains(ar.id)) {
+        continue;  // statically proven unviolable: drop all its annotations
+      }
       begins_at_[static_cast<std::size_t>(ar.first_op)].push_back(&ar);
       if (emit_replica_ && ar.needs_replica) {
         replicas_at_[static_cast<std::size_t>(ar.first_op)].push_back(&ar);
@@ -385,6 +390,7 @@ class FunctionCodegen {
   const MirFunction& f_;
   const FunctionAnnotations* annotations_;
   const bool emit_replica_;
+  const std::unordered_set<ArId>* pruned_;
 
   std::vector<std::int64_t> slot_off_;
   std::uint64_t frame_size_ = 0;
@@ -397,12 +403,12 @@ class FunctionCodegen {
 }  // namespace
 
 Program GenerateCode(const MirModule& module, const ModuleAnnotations* annotations,
-                     bool emit_replica_stores) {
+                     bool emit_replica_stores, const std::unordered_set<ArId>* pruned) {
   ProgramBuilder builder;
   for (std::size_t i = 0; i < module.functions.size(); ++i) {
     const FunctionAnnotations* fa =
         annotations != nullptr ? &annotations->functions[i] : nullptr;
-    FunctionCodegen(builder, module, module.functions[i], fa, emit_replica_stores).Run();
+    FunctionCodegen(builder, module, module.functions[i], fa, emit_replica_stores, pruned).Run();
   }
   return builder.Build();
 }

@@ -2,6 +2,8 @@
 #ifndef KIVATI_COMPILE_CODEGEN_H_
 #define KIVATI_COMPILE_CODEGEN_H_
 
+#include <unordered_set>
+
 #include "analysis/atomic_regions.h"
 #include "analysis/mir.h"
 #include "isa/program.h"
@@ -10,8 +12,12 @@ namespace kivati {
 
 // Generates code for `module`. `annotations` may be null (vanilla build).
 // `emit_replica_stores` controls the optimization-3 shared-page stores.
+// ARs in `pruned` (may be null) emit no begin/end_atomic or replica stores —
+// the conflict analysis proved they cannot be violated. clear_ar emission is
+// unchanged: it closes whatever AR the thread has open, including a caller's.
 Program GenerateCode(const MirModule& module, const ModuleAnnotations* annotations,
-                     bool emit_replica_stores);
+                     bool emit_replica_stores,
+                     const std::unordered_set<ArId>* pruned = nullptr);
 
 }  // namespace kivati
 

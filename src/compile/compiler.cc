@@ -25,13 +25,16 @@ CompiledProgram Compile(const TranslationUnit& unit, const CompileOptions& optio
   }
 
   ModuleAnnotations annotations;
+  ConflictReport conflict;
   if (options.annotate) {
     annotations = Annotate(module, options.annotator);
+    conflict = AnalyzeConflicts(module, annotations, options.conflict);
   }
 
   CompiledProgram out;
   out.program = GenerateCode(module, options.annotate ? &annotations : nullptr,
-                             options.emit_replica_stores);
+                             options.emit_replica_stores,
+                             options.annotate ? &conflict.pruned : nullptr);
   for (const MirGlobal& global : module.globals) {
     out.global_addrs.emplace(global.name, global.addr);
     if (global.array_size == 0 && global.init_value != 0) {
@@ -42,6 +45,7 @@ CompiledProgram Compile(const TranslationUnit& unit, const CompileOptions& optio
   out.sync_ars = std::move(annotations.sync_ars);
   out.ar_infos = std::move(annotations.infos);
   out.num_ars = out.ar_infos.size();
+  out.conflict = std::move(conflict);
   return out;
 }
 

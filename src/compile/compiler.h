@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/atomic_regions.h"
+#include "analysis/conflict.h"
 #include "isa/program.h"
 #include "lang/ast.h"
 #include "mem/address_space.h"
@@ -30,6 +31,9 @@ struct CompileOptions {
   bool emit_replica_stores = true;
   // Annotator precision extensions (paper §3.5/§6 future work).
   AnnotateOptions annotator;
+  // Whole-module conflict analysis: thread roots and whether ARs it proves
+  // unviolable are pruned at codegen (conflict.prune; --no-prune disables).
+  ConflictOptions conflict;
 };
 
 struct CompiledProgram {
@@ -42,6 +46,9 @@ struct CompiledProgram {
   // Debug info for every AR, indexed by (id - 1).
   std::vector<ArDebugInfo> ar_infos;
   std::size_t num_ars = 0;
+  // Verdicts from the whole-module conflict analysis (empty when
+  // options.annotate was false).
+  ConflictReport conflict;
 
   Addr GlobalAddr(const std::string& name) const { return global_addrs.at(name); }
   // Writes all initializers into `memory` (use as a Workload::init).

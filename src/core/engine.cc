@@ -15,6 +15,12 @@ Engine::Engine(const Workload& workload, EngineOptions options)
   if (workload.init) {
     workload.init(machine_.memory());
   }
+  RuntimeStats& stats = machine_.trace().stats();
+  stats.ars_annotated = workload.ars_annotated;
+  stats.ars_no_remote_writer = workload.ars_no_remote_writer;
+  stats.ars_lock_protected = workload.ars_lock_protected;
+  stats.ars_watch_required = workload.ars_watch_required;
+  stats.ars_pruned = workload.ars_pruned;
   for (const auto& [function, arg] : workload.threads) {
     machine_.SpawnThreadByName(function, arg);
   }

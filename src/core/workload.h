@@ -37,6 +37,14 @@ struct Workload {
 
   // Cycle budget a harness should give the workload by default.
   Cycles default_max_cycles = 200'000'000;
+
+  // Static annotation census from the compiler's conflict analysis, copied
+  // into RuntimeStats so run records carry the per-verdict counts.
+  std::uint64_t ars_annotated = 0;
+  std::uint64_t ars_no_remote_writer = 0;
+  std::uint64_t ars_lock_protected = 0;
+  std::uint64_t ars_watch_required = 0;
+  std::uint64_t ars_pruned = 0;
 };
 
 }  // namespace kivati

@@ -104,6 +104,11 @@ std::string StatsJson(const RuntimeStats& stats) {
   Append(out, "fast_path_begin", stats.fast_path_begin);
   Append(out, "fast_path_end", stats.fast_path_end);
   Append(out, "fast_path_clear", stats.fast_path_clear);
+  Append(out, "ars_annotated", stats.ars_annotated);
+  Append(out, "ars_no_remote_writer", stats.ars_no_remote_writer);
+  Append(out, "ars_lock_protected", stats.ars_lock_protected);
+  Append(out, "ars_watch_required", stats.ars_watch_required);
+  Append(out, "ars_pruned", stats.ars_pruned);
   out += "\"suspension_latency\":" + HistogramJson(stats.suspension_latency) + ",";
   out += "\"ar_duration\":" + HistogramJson(stats.ar_duration) + ",";
   out += "\"sync_stall\":" + HistogramJson(stats.sync_stall);
@@ -203,7 +208,7 @@ std::string SweepReportJson(const std::vector<RunRecord>& records, unsigned work
                             double total_wall_ms, bool include_wall_clock) {
   std::string out = "{";
   Append(out, "kind", std::string("kivati_sweep"));
-  Append(out, "schema_version", std::uint64_t{1});
+  Append(out, "schema_version", std::uint64_t{2});
   Append(out, "runs_total", static_cast<std::uint64_t>(records.size()));
   if (include_wall_clock) {
     Append(out, "workers", static_cast<std::uint64_t>(workers));

@@ -64,19 +64,42 @@ std::shared_ptr<const apps::App> ResolveApp(const RunSpec& spec) {
   if (!spec.app.empty()) {
     return MakeRegisteredApp(spec.app, spec.scale);
   }
+  std::vector<std::pair<std::string, std::uint64_t>> threads = spec.threads;
+  if (threads.empty()) {
+    threads.emplace_back("main", 0);
+  }
   CompileOptions compile_options;
   compile_options.annotator = spec.scale.annotator;
+  compile_options.conflict.prune = spec.scale.prune;
+  // Thread roots for the conflict analysis: each distinct entry function
+  // with the number of threads started on it.
+  for (const auto& [function, arg] : threads) {
+    (void)arg;
+    bool found = false;
+    for (auto& [name, count] : compile_options.conflict.roots) {
+      if (name == function) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      compile_options.conflict.roots.emplace_back(function, 1);
+    }
+  }
   auto compiled = std::make_shared<CompiledProgram>(
       CompileSource(ReadFileOrThrow(spec.source_path), compile_options));
   auto app = std::make_shared<apps::App>();
   app->workload.name = spec.source_path;
   app->workload.program = compiled->program;
-  app->workload.threads = spec.threads;
-  if (app->workload.threads.empty()) {
-    app->workload.threads.emplace_back("main", 0);
-  }
+  app->workload.threads = std::move(threads);
   app->workload.init = [compiled](AddressSpace& memory) { compiled->InitMemory(memory); };
   app->workload.sync_var_ars = compiled->sync_ars;
+  app->workload.ars_annotated = compiled->num_ars;
+  app->workload.ars_no_remote_writer = compiled->conflict.no_remote_writer;
+  app->workload.ars_lock_protected = compiled->conflict.lock_protected;
+  app->workload.ars_watch_required = compiled->conflict.watch_required;
+  app->workload.ars_pruned = compiled->conflict.pruned.size();
   app->compiled = compiled;
   for (const auto& [function, arg] : app->workload.threads) {
     (void)arg;

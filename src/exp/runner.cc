@@ -27,17 +27,22 @@ struct AppKey {
   int iterations;
   bool interprocedural;
   bool precise_aliasing;
+  bool prune;
 
   bool operator<(const AppKey& other) const {
-    return std::tie(name, workers, iterations, interprocedural, precise_aliasing) <
+    return std::tie(name, workers, iterations, interprocedural, precise_aliasing, prune) <
            std::tie(other.name, other.workers, other.iterations, other.interprocedural,
-                    other.precise_aliasing);
+                    other.precise_aliasing, other.prune);
   }
 };
 
 AppKey KeyFor(const RunSpec& spec) {
-  return {spec.app, spec.scale.workers, spec.scale.iterations,
-          spec.scale.annotator.interprocedural, spec.scale.annotator.precise_aliasing};
+  return {spec.app,
+          spec.scale.workers,
+          spec.scale.iterations,
+          spec.scale.annotator.interprocedural,
+          spec.scale.annotator.precise_aliasing,
+          spec.scale.prune};
 }
 
 }  // namespace

@@ -108,6 +108,7 @@ struct Param {
 struct Function {
   std::string name;
   bool returns_value = false;
+  bool returns_pointer = false;  // declared `int *f(...)`
   std::vector<Param> params;
   std::vector<StmtPtr> body;
   int line = 0;

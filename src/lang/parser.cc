@@ -88,7 +88,7 @@ class Parser {
       if (is_sync) {
         Fail("'sync' qualifier is only valid on variables");
       }
-      unit.functions.push_back(ParseFunction(name.text, !is_void || is_pointer));
+      unit.functions.push_back(ParseFunction(name.text, !is_void || is_pointer, is_pointer));
       return;
     }
 
@@ -115,10 +115,11 @@ class Parser {
     unit.globals.push_back(std::move(global));
   }
 
-  Function ParseFunction(const std::string& name, bool returns_value) {
+  Function ParseFunction(const std::string& name, bool returns_value, bool returns_pointer) {
     Function function;
     function.name = name;
     function.returns_value = returns_value;
+    function.returns_pointer = returns_pointer;
     function.line = Peek().line;
     Expect(TokenKind::kLParen, "after function name");
     if (!Check(TokenKind::kRParen)) {

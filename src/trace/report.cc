@@ -83,6 +83,12 @@ std::string FormatStatsSummary(const RuntimeStats& stats, double virtual_seconds
   };
   out << "annotations: " << stats.begin_atomic_calls << " begin, " << stats.end_atomic_calls
       << " end, " << stats.clear_ar_calls << " clear_ar\n";
+  if (stats.ars_annotated > 0) {
+    out << "static verdicts: " << stats.ars_annotated << " ARs — " << stats.ars_watch_required
+        << " watch-required, " << stats.ars_lock_protected << " lock-protected, "
+        << stats.ars_no_remote_writer << " no-remote-writer; " << stats.ars_pruned
+        << " pruned\n";
+  }
   out << "kernel crossings: " << stats.kernel_entries_total() << rate(stats.kernel_entries_total())
       << " — begin " << stats.kernel_entries_begin << ", end " << stats.kernel_entries_end
       << ", clear " << stats.kernel_entries_clear << ", traps " << stats.kernel_entries_trap

@@ -84,6 +84,15 @@ struct RuntimeStats {
   std::uint64_t fast_path_end = 0;
   std::uint64_t fast_path_clear = 0;
 
+  // Static annotation census (set once per run from the compiler's conflict
+  // analysis, not incremented): how many ARs the annotator produced, their
+  // verdicts, and how many were pruned from the generated code.
+  std::uint64_t ars_annotated = 0;
+  std::uint64_t ars_no_remote_writer = 0;
+  std::uint64_t ars_lock_protected = 0;
+  std::uint64_t ars_watch_required = 0;
+  std::uint64_t ars_pruned = 0;
+
   // Duration distributions (cycles). Always recorded: a histogram update is
   // an array increment, far below the cost of the events being measured.
   CycleHistogram suspension_latency;  // SuspendRemote -> wake

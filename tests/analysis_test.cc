@@ -166,6 +166,51 @@ TEST(LsvTest, CallResultsAreShared) {
   }
 }
 
+TEST(LsvTest, SummariesSeedOnlySharedReturningCalls) {
+  // With interprocedural summaries, a call to a pure int-returning function
+  // no longer taints its result; pointer returns (declared) and returns
+  // data-flow dependent on a global still do.
+  const MirModule m = Build(R"(
+    int g;
+    int pure(int v) { return v + 1; }
+    int *alloc() { return 0; }
+    int leak(int v) { return g + v; }
+    void f() {
+      int a;
+      a = pure(3);
+      int *p;
+      p = alloc();
+      *p = 1;
+      int b;
+      b = leak(2);
+    }
+  )");
+  const ReturnSharedness returns = ComputeReturnSharedness(m);
+  const MirFunction& f = Fn(m, "f");
+  const LsvResult precise = ComputeLsv(f, m, returns);
+  const LsvResult conservative = ComputeLsv(f);
+  int a = -1;
+  int p = -1;
+  int b = -1;
+  for (std::size_t i = 0; i < f.locals.size(); ++i) {
+    if (f.locals[i].name == "a") {
+      a = static_cast<int>(i);
+    } else if (f.locals[i].name == "p") {
+      p = static_cast<int>(i);
+    } else if (f.locals[i].name == "b") {
+      b = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(a, 0);
+  ASSERT_GE(p, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_FALSE(precise.local_in_lsv[static_cast<std::size_t>(a)]);
+  EXPECT_TRUE(precise.local_in_lsv[static_cast<std::size_t>(p)]);
+  EXPECT_TRUE(precise.local_in_lsv[static_cast<std::size_t>(b)]);
+  // The summary-free form stays conservative: every call result is shared.
+  EXPECT_TRUE(conservative.local_in_lsv[static_cast<std::size_t>(a)]);
+}
+
 // The paper's core example: a read followed by a write of the same global
 // within one subroutine forms one AR with watch type "remote write".
 TEST(AtomicRegionTest, ReadThenWriteFormsOneAr) {

@@ -22,8 +22,8 @@ struct CommandResult {
   std::string output;
 };
 
-CommandResult RunCli(const std::string& args) {
-  const std::string command = std::string(KIVATI_CLI_PATH) + " " + args + " 2>&1";
+CommandResult RunWithRedirect(const std::string& args, const std::string& redirect) {
+  const std::string command = std::string(KIVATI_CLI_PATH) + " " + args + " " + redirect;
   std::array<char, 4096> buffer;
   CommandResult result;
   FILE* pipe = popen(command.c_str(), "r");
@@ -36,6 +36,13 @@ CommandResult RunCli(const std::string& args) {
   const int status = pclose(pipe);
   result.exit_code = WEXITSTATUS(status);
   return result;
+}
+
+CommandResult RunCli(const std::string& args) { return RunWithRedirect(args, "2>&1"); }
+
+// Captures stdout only — for checking that --json keeps stdout pure.
+CommandResult RunCliStdout(const std::string& args) {
+  return RunWithRedirect(args, "2>/dev/null");
 }
 
 class CliTest : public ::testing::Test {
@@ -89,6 +96,75 @@ TEST_F(CliTest, AnnotateDisasmShowsAnnotations) {
   EXPECT_NE(result.output.find("begin_atomic"), std::string::npos);
   EXPECT_NE(result.output.find("end_atomic"), std::string::npos);
   EXPECT_NE(result.output.find("clear_ar"), std::string::npos);
+}
+
+TEST_F(CliTest, AnnotateJsonEmitsTable) {
+  const CommandResult result = RunCliStdout("annotate " + program_ + " --json");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"kind\":\"kivati_annotate\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"variable\":\"counter\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"watch\":"), std::string::npos);
+  EXPECT_NE(result.output.find("\"ends\":"), std::string::npos);
+  // The human table moved to stderr: stdout is pure JSON.
+  EXPECT_EQ(result.output.find("atomic region(s):"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeReportsVerdicts) {
+  const CommandResult result = RunCli("analyze " + program_ + " --threads racer:0,safe:1");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("conflict analysis:"), std::string::npos);
+  EXPECT_NE(result.output.find("watch-required"), std::string::npos);
+  // Both threads write `counter`, one without the lock, so the racer pair
+  // keeps its watch and lists the remote writer.
+  EXPECT_NE(result.output.find("remote site"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeJsonKeepsStdoutPure) {
+  const CommandResult result =
+      RunCliStdout("analyze " + program_ + " --threads racer:0,racer:1 --json");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"kind\":\"kivati_analyze\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"verdict\":"), std::string::npos);
+  EXPECT_EQ(result.output.find("conflict analysis:"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeRegisteredApp) {
+  const CommandResult result = RunCliStdout("analyze --app nss --json");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("\"kind\":\"kivati_analyze\""), std::string::npos);
+  EXPECT_NE(result.output.find("\"verdict\":\"lock-protected\""), std::string::npos);
+
+  const CommandResult bad = RunCli("analyze --app nosuchapp");
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_NE(bad.output.find("unknown app"), std::string::npos);
+
+  const CommandResult neither = RunCli("analyze");
+  EXPECT_NE(neither.exit_code, 0);
+  EXPECT_NE(neither.output.find("source FILE or --app"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeRejectsUnknownRoot) {
+  const CommandResult result = RunCli("analyze " + program_ + " --threads nosuch:0");
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("no function"), std::string::npos);
+}
+
+TEST_F(CliTest, NoPruneKeepsAllAnnotations) {
+  // Pruned vs unpruned verdict counts are identical; only the pruned set
+  // changes, and a run's JSON record carries the census either way.
+  const CommandResult pruned = RunCli("analyze " + program_ + " --threads safe:0,safe:1");
+  EXPECT_EQ(pruned.exit_code, 0) << pruned.output;
+  EXPECT_NE(pruned.output.find("lock-protected"), std::string::npos);
+
+  const CommandResult kept =
+      RunCli("analyze " + program_ + " --threads safe:0,safe:1 --no-prune");
+  EXPECT_EQ(kept.exit_code, 0) << kept.output;
+  EXPECT_NE(kept.output.find("(0 pruned)"), std::string::npos);
+
+  const CommandResult run =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --seed 3 --no-prune --json -");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"ars_pruned\":0"), std::string::npos);
 }
 
 TEST_F(CliTest, RunReportsViolations) {

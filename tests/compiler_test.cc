@@ -312,6 +312,10 @@ TEST(IntegrationTest, BothThreadsAnnotatedSerializesViaBeginSuspension) {
 }
 
 TEST(IntegrationTest, WhitelistedSyncVarsReduceKernelEntries) {
+  // Keep the sync-var ARs annotated: the runtime whitelist under test is
+  // only observable when the conflict analysis hasn't already pruned them.
+  CompileOptions no_prune;
+  no_prune.conflict.prune = false;
   const CompiledProgram cp = CompileSource(R"(
     sync int mutex;
     int data;
@@ -322,7 +326,8 @@ TEST(IntegrationTest, WhitelistedSyncVarsReduceKernelEntries) {
         unlock(mutex);
       }
     }
-  )");
+  )",
+                                            no_prune);
   auto run = [&](bool whitelist_sync) {
     Machine m = MakeMachine(cp, SingleCoreConfig());
     KivatiConfig config;

@@ -1,0 +1,342 @@
+// Whole-module conflict & lockset analysis (docs/analysis.md): golden
+// verdicts over small programs plus unit coverage of the lockset pass.
+#include <gtest/gtest.h>
+
+#include "analysis/atomic_regions.h"
+#include "analysis/conflict.h"
+#include "analysis/lockset.h"
+#include "analysis/mir_builder.h"
+#include "lang/parser.h"
+
+namespace kivati {
+namespace {
+
+MirModule Build(const std::string& source) { return BuildMir(Parse(source)); }
+
+struct Analysis {
+  MirModule module;
+  ModuleAnnotations annotations;
+  ConflictReport report;
+};
+
+Analysis Analyze(const std::string& source, const ConflictOptions& options = {}) {
+  Analysis a;
+  a.module = Build(source);
+  a.annotations = Annotate(a.module);
+  a.report = AnalyzeConflicts(a.module, a.annotations, options);
+  return a;
+}
+
+// The first AR over `variable` in `function` (there is exactly one in the
+// programs below unless noted).
+const ArConflict& ArOn(const Analysis& a, const std::string& function,
+                       const std::string& variable) {
+  for (const ArConflict& ar : a.report.ars) {
+    const ArDebugInfo& info = a.annotations.infos[ar.id - 1];
+    if (info.function == function && info.variable == variable) {
+      return ar;
+    }
+  }
+  static const ArConflict kMissing;
+  ADD_FAILURE() << "no AR on " << variable << " in " << function;
+  return kMissing;
+}
+
+int GlobalIndex(const MirModule& m, const std::string& name) {
+  for (std::size_t i = 0; i < m.globals.size(); ++i) {
+    if (m.globals[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  ADD_FAILURE() << "no global " << name;
+  return -1;
+}
+
+// --- Verdicts ----------------------------------------------------------------
+
+TEST(ConflictTest, ThreadLocalIsNoRemoteWriter) {
+  // Only one `main` thread ever runs `solo`; nothing else touches `total`.
+  const Analysis a = Analyze(R"(
+    int total;
+    int shared;
+    void solo(int id) {
+      int t = total;
+      total = t + 1;
+    }
+    void racer(int id) {
+      int t = shared;
+      shared = t + 1;
+    }
+    void main(int id) {
+      solo(0);
+      spawn racer(1);
+      spawn racer(2);
+    }
+  )",
+                             {true, {{"main", 1}}});
+  EXPECT_EQ(ArOn(a, "solo", "total").verdict, ArVerdict::kNoRemoteWriter);
+  EXPECT_EQ(ArOn(a, "racer", "shared").verdict, ArVerdict::kWatchRequired);
+  EXPECT_TRUE(a.report.pruned.contains(ArOn(a, "solo", "total").id));
+  EXPECT_FALSE(a.report.pruned.contains(ArOn(a, "racer", "shared").id));
+}
+
+TEST(ConflictTest, UnknownThreadStructureAssumesEverythingConcurrent) {
+  // Same program, no roots: `solo` must be assumed to run on 2+ threads, so
+  // its access pair keeps its watchpoint (the sound fallback).
+  const Analysis a = Analyze(R"(
+    int total;
+    void solo(int id) {
+      int t = total;
+      total = t + 1;
+    }
+  )");
+  EXPECT_EQ(ArOn(a, "solo", "total").verdict, ArVerdict::kWatchRequired);
+}
+
+TEST(ConflictTest, LockProtectedPairIsPruned) {
+  const Analysis a = Analyze(R"(
+    sync int m;
+    int guarded;
+    void worker(int id) {
+      lock(m);
+      int g = guarded;
+      guarded = g + 1;
+      unlock(m);
+    }
+  )",
+                             {true, {{"worker", 2}}});
+  const ArConflict& ar = ArOn(a, "worker", "guarded");
+  EXPECT_EQ(ar.verdict, ArVerdict::kLockProtected);
+  EXPECT_EQ(ar.lock, "m");
+  EXPECT_TRUE(a.report.pruned.contains(ar.id));
+}
+
+TEST(ConflictTest, UnlockedRemoteSiteKeepsWatch) {
+  // The same lock is held around the pair, but a remote writer updates the
+  // variable without it — mutual exclusion proves nothing.
+  const Analysis a = Analyze(R"(
+    sync int m;
+    int guarded;
+    void careful(int id) {
+      lock(m);
+      int g = guarded;
+      guarded = g + 1;
+      unlock(m);
+    }
+    void sloppy(int id) {
+      guarded = 0;
+    }
+  )",
+                             {true, {{"careful", 1}, {"sloppy", 1}}});
+  const ArConflict& ar = ArOn(a, "careful", "guarded");
+  EXPECT_EQ(ar.verdict, ArVerdict::kWatchRequired);
+  ASSERT_EQ(ar.remote_sites.size(), 1u);
+  EXPECT_EQ(ar.remote_sites[0].function, "sloppy");
+  EXPECT_EQ(ar.remote_sites[0].type, AccessType::kWrite);
+}
+
+TEST(ConflictTest, UnlockRelockWindowBreaksProtection) {
+  // The pair spans an unlock/relock window: the lock is not held
+  // *continuously*, so a remote writer can slip in between.
+  const Analysis a = Analyze(R"(
+    sync int m;
+    int g;
+    void worker(int id) {
+      lock(m);
+      int t = g;
+      unlock(m);
+      lock(m);
+      g = t + 1;
+      unlock(m);
+    }
+  )",
+                             {true, {{"worker", 2}}});
+  EXPECT_EQ(ArOn(a, "worker", "g").verdict, ArVerdict::kWatchRequired);
+}
+
+TEST(ConflictTest, DirectlyAccessedLockWordIsNotTrusted) {
+  // The lock word is also written directly, so lock(m) cannot be trusted as
+  // mutual exclusion (Eraser's discipline).
+  const Analysis a = Analyze(R"(
+    sync int m;
+    int g;
+    void worker(int id) {
+      lock(m);
+      int t = g;
+      g = t + 1;
+      unlock(m);
+    }
+    void resetter(int id) {
+      lock(m);
+      g = 0;
+      unlock(m);
+      m = 0;
+    }
+  )",
+                             {true, {{"worker", 1}, {"resetter", 1}}});
+  EXPECT_EQ(ArOn(a, "worker", "g").verdict, ArVerdict::kWatchRequired);
+}
+
+TEST(ConflictTest, SpawnTargetsBecomeConcurrentRoots) {
+  // Thread reachability flows through spawn: a single main root spawns the
+  // workers, and a spawned target must be assumed concurrent with itself.
+  const Analysis a = Analyze(R"(
+    int shared;
+    int setup_only;
+    void worker(int id) {
+      int t = shared;
+      shared = t + 1;
+    }
+    void main(int id) {
+      int s = setup_only;
+      setup_only = s + 1;
+      spawn worker(0);
+    }
+  )",
+                             {true, {{"main", 1}}});
+  EXPECT_EQ(ArOn(a, "worker", "shared").verdict, ArVerdict::kWatchRequired);
+  EXPECT_EQ(ArOn(a, "main", "setup_only").verdict, ArVerdict::kNoRemoteWriter);
+}
+
+TEST(ConflictTest, AddressTakenGlobalReachedThroughPointer) {
+  // `g` escapes via &g, so a remote *p store may alias it; `h` never has its
+  // address taken, so the same store cannot reach it.
+  const Analysis a = Analyze(R"(
+    int g;
+    int h;
+    void writer(int id) {
+      int *p;
+      p = &g;
+      *p = 7;
+    }
+    void pair_g(int id) {
+      int t = g;
+      g = t + 1;
+    }
+    void pair_h(int id) {
+      int t = h;
+      h = t + 1;
+    }
+  )",
+                             {true, {{"writer", 1}, {"pair_g", 1}, {"pair_h", 1}}});
+  const ArConflict& on_g = ArOn(a, "pair_g", "g");
+  EXPECT_EQ(on_g.verdict, ArVerdict::kWatchRequired);
+  ASSERT_FALSE(on_g.remote_sites.empty());
+  EXPECT_TRUE(on_g.remote_sites[0].via_pointer);
+  EXPECT_EQ(ArOn(a, "pair_h", "h").verdict, ArVerdict::kNoRemoteWriter);
+}
+
+TEST(ConflictTest, PruneOffStillReportsVerdicts) {
+  const Analysis a = Analyze(R"(
+    int total;
+    void solo(int id) {
+      int t = total;
+      total = t + 1;
+    }
+  )",
+                             {false, {{"solo", 1}}});
+  EXPECT_EQ(ArOn(a, "solo", "total").verdict, ArVerdict::kNoRemoteWriter);
+  EXPECT_EQ(a.report.no_remote_writer, 1u);
+  EXPECT_TRUE(a.report.pruned.empty());
+}
+
+TEST(ConflictTest, ReportCountsAddUp) {
+  const Analysis a = Analyze(R"(
+    sync int m;
+    int guarded;
+    int shared;
+    int mine;
+    void worker(int id) {
+      lock(m);
+      int g = guarded;
+      guarded = g + 1;
+      unlock(m);
+      int s = shared;
+      shared = s + 1;
+    }
+    void main(int id) {
+      int t = mine;
+      mine = t + 1;
+      spawn worker(0);
+    }
+  )",
+                             {true, {{"main", 1}}});
+  EXPECT_EQ(a.report.no_remote_writer + a.report.lock_protected + a.report.watch_required,
+            a.report.ars.size());
+  EXPECT_EQ(a.report.pruned.size(), a.report.no_remote_writer + a.report.lock_protected);
+  const std::string human = FormatConflictReport(a.report, a.annotations.infos);
+  EXPECT_NE(human.find("watch-required"), std::string::npos);
+  EXPECT_NE(human.find("guarded by m"), std::string::npos);
+  const std::string json = ConflictReportJson(a.report, a.annotations.infos);
+  EXPECT_NE(json.find("\"kind\":\"kivati_analyze\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"lock-protected\""), std::string::npos);
+}
+
+// --- Lockset units -----------------------------------------------------------
+
+TEST(LocksetTest, TrustedLocksExcludeDirectlyAccessedWords) {
+  const MirModule m = Build(R"(
+    sync int clean;
+    sync int dirty;
+    void f(int id) {
+      lock(clean);
+      unlock(clean);
+      lock(dirty);
+      unlock(dirty);
+      dirty = 1;
+    }
+  )");
+  const LockSummaries s = ComputeLockSummaries(m);
+  EXPECT_TRUE(s.trusted_locks.contains(GlobalIndex(m, "clean")));
+  EXPECT_FALSE(s.trusted_locks.contains(GlobalIndex(m, "dirty")));
+}
+
+TEST(LocksetTest, MayUnlockIsTransitive) {
+  const MirModule m = Build(R"(
+    sync int m;
+    void release(int id) { unlock(m); }
+    void outer(int id) { release(id); }
+    void pure(int id) { int x = id; }
+  )");
+  const LockSummaries s = ComputeLockSummaries(m);
+  const int lock = GlobalIndex(m, "m");
+  const auto index = [&](const std::string& name) {
+    return static_cast<std::size_t>(m.FindFunction(name) - m.functions.data());
+  };
+  EXPECT_TRUE(s.may_unlock[index("release")].contains(lock));
+  EXPECT_TRUE(s.may_unlock[index("outer")].contains(lock));
+  EXPECT_FALSE(s.may_unlock[index("pure")].contains(lock));
+}
+
+TEST(LocksetTest, MustHeldCoversTheCriticalSection) {
+  const MirModule m = Build(R"(
+    sync int m;
+    int g;
+    void f(int id) {
+      g = 1;
+      lock(m);
+      g = 2;
+      unlock(m);
+      g = 3;
+    }
+  )");
+  const MirFunction& f = *m.FindFunction("f");
+  const LockSummaries s = ComputeLockSummaries(m);
+  const std::vector<std::set<int>> held = ComputeMustHeld(m, f, s);
+  const int lock = GlobalIndex(m, "m");
+  // The store of 2 sits between lock and unlock; the stores of 1 and 3
+  // don't. Identify them by the stored constant's op order.
+  std::vector<bool> store_held;
+  for (std::size_t i = 0; i < f.ops.size(); ++i) {
+    if (f.ops[i].kind == MirOp::Kind::kStoreGlobal) {
+      store_held.push_back(held[i].contains(lock));
+    }
+  }
+  ASSERT_EQ(store_held.size(), 3u);
+  EXPECT_FALSE(store_held[0]);
+  EXPECT_TRUE(store_held[1]);
+  EXPECT_FALSE(store_held[2]);
+}
+
+}  // namespace
+}  // namespace kivati

@@ -150,6 +150,10 @@ TEST(TrainerTest, TrainedWhitelistSilencesBenignButKeepsBugs) {
 }
 
 TEST(EngineTest, SyncVarWhitelistOption) {
+  // Keep the sync-var ARs annotated: the whitelist option under test is
+  // only observable when the conflict analysis hasn't already pruned them.
+  CompileOptions no_prune;
+  no_prune.conflict.prune = false;
   const CompiledProgram compiled = CompileSource(R"(
     sync int m;
     int data;
@@ -160,7 +164,8 @@ TEST(EngineTest, SyncVarWhitelistOption) {
         unlock(m);
       }
     }
-  )");
+  )",
+                                                 no_prune);
   Workload workload;
   workload.name = "syncvar";
   workload.program = compiled.program;

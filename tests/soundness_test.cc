@@ -1,0 +1,104 @@
+// Soundness of static AR pruning (docs/analysis.md): dropping annotations
+// the conflict analysis proves unviolable must never hide a real bug, and
+// the verdict census must stay consistent across the whole app suite.
+#include <gtest/gtest.h>
+
+#include "apps/bugs.h"
+#include "apps/workloads.h"
+#include "core/engine.h"
+
+namespace kivati {
+namespace {
+
+MachineConfig EvalMachine(std::uint64_t seed = 1) {
+  MachineConfig config;
+  config.num_cores = 2;
+  config.policy = SchedPolicy::kRandom;
+  config.seed = seed;
+  return config;
+}
+
+TEST(PruningSoundnessTest, BuggyArsSurviveInEveryCorpusApp) {
+  for (const apps::BugInfo& bug : apps::BugCorpus()) {
+    const apps::App pruned = apps::MakeBugApp(bug, /*prune=*/true);
+    const apps::App unpruned = apps::MakeBugApp(bug, /*prune=*/false);
+    SCOPED_TRACE(bug.app + " " + bug.id);
+    // AR ids are assigned before pruning, so both builds agree on them.
+    EXPECT_EQ(pruned.compiled->num_ars, unpruned.compiled->num_ars);
+    EXPECT_EQ(pruned.workload.buggy_ars, unpruned.workload.buggy_ars);
+    EXPECT_EQ(unpruned.workload.ars_pruned, 0u);
+    // The seeded bug's regions must classify watch-required and keep their
+    // annotations.
+    ASSERT_FALSE(pruned.workload.buggy_ars.empty());
+    for (const ArId ar : pruned.workload.buggy_ars) {
+      EXPECT_FALSE(pruned.compiled->conflict.pruned.contains(ar))
+          << "buggy AR " << ar << " was pruned";
+      EXPECT_EQ(pruned.compiled->conflict.ars[ar - 1].verdict, ArVerdict::kWatchRequired);
+    }
+    // Verdicts themselves don't depend on the prune knob.
+    EXPECT_EQ(pruned.workload.ars_watch_required, unpruned.workload.ars_watch_required);
+    EXPECT_EQ(pruned.workload.ars_lock_protected, unpruned.workload.ars_lock_protected);
+    EXPECT_EQ(pruned.workload.ars_no_remote_writer, unpruned.workload.ars_no_remote_writer);
+  }
+}
+
+TEST(PruningSoundnessTest, AppCensusIsConsistent) {
+  apps::LoadScale scale;
+  scale.iterations = 60;
+  for (apps::App& app : apps::AllPerformanceApps(scale)) {
+    SCOPED_TRACE(app.workload.name);
+    EXPECT_EQ(app.workload.ars_annotated,
+              app.workload.ars_no_remote_writer + app.workload.ars_lock_protected +
+                  app.workload.ars_watch_required);
+    EXPECT_EQ(app.workload.ars_pruned,
+              app.workload.ars_no_remote_writer + app.workload.ars_lock_protected);
+  }
+  // The lock-heavy apps actually exercise the lock-protected verdict.
+  const apps::App nss = apps::MakeNss(scale);
+  EXPECT_GE(nss.workload.ars_lock_protected, 1u);
+  EXPECT_GE(nss.workload.ars_pruned, 1u);
+}
+
+// Fast-triggering corpus bugs still manifest with pruning enabled — and the
+// detection matches the unpruned build's. (Slow-trigger bugs are covered by
+// apps_test's full-corpus detection run, which uses the pruned default.)
+class FastBugDetectionTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static bool Detects(const apps::App& app) {
+    EngineOptions options;
+    options.machine = EvalMachine(17);
+    KivatiConfig config;
+    config.mode = KivatiMode::kBugFinding;
+    config.bugfinding_pause_ms = 50.0;
+    config.bugfinding_pause_probability = 0.25;
+    options.kivati = config;
+    Engine engine(app.workload, options);
+    for (Cycles limit = 10'000'000; limit <= 200'000'000; limit += 10'000'000) {
+      engine.Run(limit);
+      for (const ViolationRecord& v : engine.trace().violations()) {
+        if (app.workload.buggy_ars.contains(v.ar_id)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+};
+
+TEST_P(FastBugDetectionTest, DetectedWithAndWithoutPruning) {
+  const apps::BugInfo& bug = apps::BugCorpus()[GetParam()];
+  EXPECT_TRUE(Detects(apps::MakeBugApp(bug, /*prune=*/true))) << "pruned build missed the bug";
+  EXPECT_TRUE(Detects(apps::MakeBugApp(bug, /*prune=*/false))) << "unpruned build missed the bug";
+}
+
+std::string FastBugName(const ::testing::TestParamInfo<std::size_t>& info) {
+  const apps::BugInfo& bug = apps::BugCorpus()[info.param];
+  return bug.app + "_" + bug.id;
+}
+
+// Indices into BugCorpus(): NSS 329072 (gate 63) and NSS 270689 (gate 127),
+// the two fastest-manifesting seeds.
+INSTANTIATE_TEST_SUITE_P(FastBugs, FastBugDetectionTest, ::testing::Values(4u, 6u), FastBugName);
+
+}  // namespace
+}  // namespace kivati

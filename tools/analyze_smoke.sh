@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Verdict-count smoke for the static conflict analysis (docs/analysis.md).
+#
+# Runs `kivati analyze --json` over the analyze examples and every
+# registered app and compares the summary counts (ARs per verdict, pruned)
+# against the committed baseline, so precision regressions show up as a
+# one-line diff in review.
+#
+#   sh tools/analyze_smoke.sh check    # diff against bench/ANALYZE_baseline.txt
+#   sh tools/analyze_smoke.sh update   # regenerate the baseline
+#
+# Override the binary with KIVATI=path. Run from the repo root.
+set -eu
+
+KIVATI="${KIVATI:-./build/tools/kivati}"
+BASELINE="bench/ANALYZE_baseline.txt"
+
+# One line per target: the summary fields of the kivati_analyze JSON header
+# (everything before the per-AR array), quotes stripped for readability.
+row() {
+  name="$1"
+  shift
+  summary="$("$KIVATI" analyze "$@" --json 2>/dev/null | head -n 1 \
+    | sed -E 's/,"ars":\[$//; s/^\{//; s/"//g; s/kind:kivati_analyze,//')"
+  printf '%s %s\n' "$name" "$summary"
+}
+
+report() {
+  row examples/analyze/mixed.kv examples/analyze/mixed.kv --threads main:0
+  row examples/analyze/window.kv examples/analyze/window.kv \
+    --threads worker:0,worker:1
+  for app in nss vlc webstone tpcw specomp; do
+    row "app:$app" --app "$app"
+  done
+}
+
+case "${1:-check}" in
+  update)
+    report >"$BASELINE"
+    echo "wrote $BASELINE"
+    ;;
+  check)
+    report | diff -u "$BASELINE" - \
+      || { echo "verdict counts drifted from $BASELINE" \
+           "(run: sh tools/analyze_smoke.sh update)" >&2; exit 1; }
+    ;;
+  *)
+    echo "usage: $0 [check|update]" >&2
+    exit 2
+    ;;
+esac

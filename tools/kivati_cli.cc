@@ -2,7 +2,13 @@
 //
 //   kivati annotate FILE            show the atomic regions the static
 //                                   annotator finds (add --disasm for the
-//                                   annotated machine code)
+//                                   annotated machine code, --json for a
+//                                   machine-readable table)
+//   kivati analyze FILE [options]   whole-module conflict & lockset analysis:
+//   kivati analyze --app NAME       classify every AR (watch-required /
+//                                   lock-protected / no-remote-writer) and
+//                                   print the ranked report (--json for the
+//                                   machine-readable form; docs/analysis.md)
 //   kivati run FILE [options]       compile, run under Kivati, and report
 //                                   violations and statistics
 //   kivati train FILE [options]     iterate runs, growing a whitelist from
@@ -29,6 +35,8 @@
 //   --pause-ms X                    bug-finding pause length (default 20)
 //   --interprocedural               annotator: regions spanning calls
 //   --precise-aliasing              annotator: alias/element precision
+//   --no-prune                      keep annotations the conflict analysis
+//                                   proves unviolable (default: drop them)
 //   --verbose                       print every violation record
 //   --json FILE                     (run) also write the run as a JSON
 //                                   RunRecord; '-' writes to stdout
@@ -37,6 +45,15 @@
 //                                   anything else JSONL (docs/tracing.md)
 //   --trace-events k1,k2,...        event kinds to record (default: all)
 //   --trace-limit N                 event ring-buffer capacity (default 65536)
+//
+// Options for analyze:
+//   --threads f[:arg][,...]         thread roots for the conflict analysis
+//                                   (default: assume every function may run
+//                                   on two concurrent threads — sound)
+//   --app NAME                      analyze a registered app instead of FILE
+//                                   (--app-workers scales its thread roots)
+//   --json                          machine-readable report on stdout; the
+//                                   human report moves to stderr
 //
 // Options for sweep (plus --mode-independent ones above):
 //   --apps a,b,...                  registered apps to sweep (nss, vlc,
@@ -88,6 +105,9 @@ struct CliOptions {
   bool vanilla = false;
   bool disasm = false;
   bool verbose = false;
+  bool no_prune = false;
+  bool json_to_stdout = false;  // annotate/analyze --json (bare flag)
+  std::string app;              // analyze --app NAME
   unsigned cores = 2;
   unsigned watchpoints = 4;
   std::uint64_t seed = 1;
@@ -186,6 +206,8 @@ void AddAnnotatorOptions(exp::OptionTable& table, CliOptions& options) {
              "annotator: regions spanning calls");
   table.Flag("--precise-aliasing", &options.annotator.precise_aliasing,
              "annotator: alias/element precision");
+  table.Flag("--no-prune", &options.no_prune,
+             "keep annotations the conflict analysis proves unviolable");
 }
 
 void AddConfigOptions(exp::OptionTable& table, CliOptions& options) {
@@ -247,6 +269,30 @@ exp::OptionTable TrainTable(CliOptions& options) {
 exp::OptionTable AnnotateTable(CliOptions& options) {
   exp::OptionTable table;
   table.Flag("--disasm", &options.disasm, "print the annotated machine code");
+  table.Flag("--json", &options.json_to_stdout,
+             "annotation table as JSON on stdout (human table moves to stderr)");
+  AddAnnotatorOptions(table, options);
+  return table;
+}
+
+exp::OptionTable AnalyzeTable(CliOptions& options) {
+  exp::OptionTable table;
+  table.Value("--threads", "thread roots f[:arg][,...]", [&options](const std::string& value) {
+    return ParseThreadsSpec(value, &options.threads);
+  });
+  table.Value("--app", "registered app to analyze", [&options](const std::string& value) {
+    for (const std::string& name : exp::RegisteredApps()) {
+      if (name == value) {
+        options.app = value;
+        return std::string();
+      }
+    }
+    return "--app: unknown app '" + value + "'";
+  });
+  table.Flag("--json", &options.json_to_stdout,
+             "conflict report as JSON on stdout (human report moves to stderr)");
+  table.Int("--app-workers", &options.app_workers, "app thread-count scale", 1, 256);
+  table.Int("--app-iterations", &options.app_iterations, "app iteration scale", 1, 100'000'000);
   AddAnnotatorOptions(table, options);
   return table;
 }
@@ -358,7 +404,7 @@ exp::OptionTable SweepTable(CliOptions& options) {
 CliOptions ParseArgs(int argc, char** argv) {
   CliOptions options;
   if (argc < 2) {
-    Fail("usage: kivati annotate|run|train|sweep [FILE] [options] "
+    Fail("usage: kivati annotate|analyze|run|train|sweep [FILE] [options] "
          "(see the header comment)");
   }
   options.command = argv[1];
@@ -371,8 +417,8 @@ CliOptions ParseArgs(int argc, char** argv) {
     }
     options.file = argv[2];
     first_option = 3;
-  } else if (options.command == "sweep") {
-    // sweep takes an optional source FILE; --apps is the alternative.
+  } else if (options.command == "sweep" || options.command == "analyze") {
+    // Both take an optional source FILE; --apps / --app is the alternative.
     if (argc >= 3 && argv[2][0] != '-') {
       options.file = argv[2];
       first_option = 3;
@@ -382,6 +428,8 @@ CliOptions ParseArgs(int argc, char** argv) {
   exp::OptionTable table;
   if (options.command == "annotate") {
     table = AnnotateTable(options);
+  } else if (options.command == "analyze") {
+    table = AnalyzeTable(options);
   } else if (options.command == "run") {
     table = RunTable(options);
   } else if (options.command == "train") {
@@ -395,7 +443,9 @@ CliOptions ParseArgs(int argc, char** argv) {
   if (!error.empty()) {
     Fail(error);
   }
-  if (options.threads.empty()) {
+  // analyze without --threads keeps its sound every-function-concurrent
+  // fallback instead of the single-run main:0 default.
+  if (options.threads.empty() && options.command != "analyze") {
     options.threads.emplace_back("main", 0);
   }
   return options;
@@ -407,6 +457,7 @@ exp::RunSpec SpecFromOptions(const CliOptions& options) {
   spec.source_path = options.file;
   spec.threads = options.threads;
   spec.scale.annotator = options.annotator;
+  spec.scale.prune = !options.no_prune;
   spec.machine.num_cores = options.cores;
   spec.machine.watchpoints_per_core = options.watchpoints;
   spec.machine.seed = options.seed;
@@ -419,18 +470,114 @@ exp::RunSpec SpecFromOptions(const CliOptions& options) {
   return spec;
 }
 
+// Minimal JSON string escaping for the annotate table (identifiers and
+// file paths; the full escaper lives with the RunRecord serializer).
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
 int Annotate(const CliOptions& options) {
   CompileOptions compile_options;
   compile_options.annotator = options.annotator;
+  compile_options.conflict.prune = !options.no_prune;
   const CompiledProgram compiled = CompileSource(ReadFile(options.file), compile_options);
-  std::printf("%zu atomic region(s):\n", compiled.num_ars);
+  // With --json the machine-readable table owns stdout; the human table
+  // joins any diagnostics on stderr (same convention as `run --json -`).
+  FILE* human = options.json_to_stdout ? stderr : stdout;
+  std::fprintf(human, "%zu atomic region(s):\n", compiled.num_ars);
   for (const ArDebugInfo& info : compiled.ar_infos) {
-    std::printf("  AR %-4u %-24s variable '%s'%s\n", info.id,
-                (info.function + "()").c_str(), info.variable.c_str(),
-                compiled.sync_ars.contains(info.id) ? "  [sync var]" : "");
+    std::fprintf(human, "  AR %-4u %-24s variable '%s'  line %-4d watches %-10s %d end(s)%s%s\n",
+                 info.id, (info.function + "()").c_str(), info.variable.c_str(), info.line,
+                 ToString(info.watch), info.num_ends,
+                 compiled.sync_ars.contains(info.id) ? "  [sync var]" : "",
+                 compiled.conflict.pruned.contains(info.id) ? "  [pruned]" : "");
+  }
+  if (options.json_to_stdout) {
+    std::string json = "{\"kind\":\"kivati_annotate\",\"schema_version\":1,";
+    json += "\"source\":\"" + EscapeJson(options.file) + "\",";
+    json += "\"ars_total\":" + std::to_string(compiled.num_ars) + ",\"ars\":[\n";
+    for (const ArDebugInfo& info : compiled.ar_infos) {
+      json += "{\"id\":" + std::to_string(info.id);
+      json += ",\"function\":\"" + EscapeJson(info.function) + "\"";
+      json += ",\"variable\":\"" + EscapeJson(info.variable) + "\"";
+      json += ",\"line\":" + std::to_string(info.line);
+      json += ",\"first_access\":\"";
+      json += ToString(info.first_type);
+      json += "\",\"watch\":\"";
+      json += ToString(info.watch);
+      json += "\",\"ends\":" + std::to_string(info.num_ends);
+      json += ",\"sync\":";
+      json += compiled.sync_ars.contains(info.id) ? "true" : "false";
+      json += ",\"pruned\":";
+      json += compiled.conflict.pruned.contains(info.id) ? "true" : "false";
+      json += "}";
+      json += info.id < compiled.num_ars ? ",\n" : "\n";
+    }
+    json += "]}\n";
+    std::fputs(json.c_str(), stdout);
   }
   if (options.disasm) {
-    std::printf("\n%s", DisassembleProgram(compiled.program).c_str());
+    std::fprintf(human, "\n%s", DisassembleProgram(compiled.program).c_str());
+  }
+  return 0;
+}
+
+int Analyze(const CliOptions& options) {
+  if (options.file.empty() == options.app.empty()) {
+    Fail("analyze takes either a source FILE or --app NAME");
+  }
+  std::shared_ptr<const CompiledProgram> compiled;
+  if (!options.app.empty()) {
+    apps::LoadScale scale;
+    scale.workers = options.app_workers;
+    scale.iterations = options.app_iterations;
+    scale.annotator = options.annotator;
+    scale.prune = !options.no_prune;
+    compiled = exp::MakeRegisteredApp(options.app, scale)->compiled;
+  } else {
+    CompileOptions compile_options;
+    compile_options.annotator = options.annotator;
+    compile_options.conflict.prune = !options.no_prune;
+    // --threads entries become the conflict analysis's thread roots: each
+    // distinct entry function with its number of occurrences.
+    for (const auto& [function, arg] : options.threads) {
+      (void)arg;
+      bool found = false;
+      for (auto& [name, count] : compile_options.conflict.roots) {
+        if (name == function) {
+          ++count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        compile_options.conflict.roots.emplace_back(function, 1);
+      }
+    }
+    auto program = std::make_shared<CompiledProgram>(
+        CompileSource(ReadFile(options.file), compile_options));
+    for (const auto& [function, count] : compile_options.conflict.roots) {
+      (void)count;
+      if (program->program.FindFunction(function) == nullptr) {
+        Fail("no function '" + function + "' in " + options.file);
+      }
+    }
+    compiled = std::move(program);
+  }
+  const std::string human = FormatConflictReport(compiled->conflict, compiled->ar_infos);
+  if (options.json_to_stdout) {
+    std::fputs(human.c_str(), stderr);
+    std::fputs(ConflictReportJson(compiled->conflict, compiled->ar_infos).c_str(), stdout);
+  } else {
+    std::fputs(human.c_str(), stdout);
   }
   return 0;
 }
@@ -563,6 +710,7 @@ int Sweep(const CliOptions& options) {
   grid.base.scale.workers = options.app_workers;
   grid.base.scale.iterations = options.app_iterations;
   grid.base.scale.annotator = options.annotator;
+  grid.base.scale.prune = !options.no_prune;
   grid.base.pause_ms = options.pause_ms;
   grid.base.whitelist_path = options.whitelist_path;
   grid.base.budget = options.max_cycles;
@@ -625,6 +773,9 @@ int Main(int argc, char** argv) {
   try {
     if (options.command == "annotate") {
       return Annotate(options);
+    }
+    if (options.command == "analyze") {
+      return Analyze(options);
     }
     if (options.command == "run") {
       return Run(options);
