@@ -30,4 +30,21 @@ RunResult Engine::Run(std::optional<Cycles> max_cycles) {
   return machine_.Run(max_cycles.value_or(default_max_));
 }
 
+void Engine::RecordSchedule() {
+  sched_ctl_ = std::make_unique<ScheduleController>(machine_.config().seed);
+  machine_.set_schedule_controller(sched_ctl_.get());
+}
+
+void Engine::ReplaySchedule(std::shared_ptr<const ScheduleTrace> trace, bool strict) {
+  replay_trace_ = std::move(trace);
+  sched_ctl_ = std::make_unique<ScheduleController>(
+      *replay_trace_, strict ? ScheduleController::Mode::kReplayStrict
+                             : ScheduleController::Mode::kReplayLoose);
+  machine_.set_schedule_controller(sched_ctl_.get());
+}
+
+const ScheduleTrace* Engine::recorded_schedule() const {
+  return sched_ctl_ != nullptr && sched_ctl_->recording() ? &sched_ctl_->trace() : nullptr;
+}
+
 }  // namespace kivati

@@ -46,10 +46,25 @@ class Engine {
   // Null for vanilla runs.
   KivatiRuntime* runtime() { return runtime_.get(); }
 
+  // --- Schedule record/replay (docs/replay.md) -----------------------------
+  // At most one of the two may be enabled, before the first Run call.
+  // Records every scheduling decision; read the trace back after Run.
+  void RecordSchedule();
+  // Drives the scheduler from `trace`. Strict replay verifies each decision
+  // and throws ScheduleDivergenceError on mismatch; loose replay treats the
+  // trace as a choice stream (shrunk traces).
+  void ReplaySchedule(std::shared_ptr<const ScheduleTrace> trace, bool strict);
+  // Null unless RecordSchedule/ReplaySchedule was called.
+  const ScheduleController* schedule_controller() const { return sched_ctl_.get(); }
+  // The recorded trace (null unless recording).
+  const ScheduleTrace* recorded_schedule() const;
+
  private:
   Cycles default_max_;
   Machine machine_;
   std::unique_ptr<KivatiRuntime> runtime_;
+  std::unique_ptr<ScheduleController> sched_ctl_;
+  std::shared_ptr<const ScheduleTrace> replay_trace_;  // keeps the trace alive
 };
 
 }  // namespace kivati

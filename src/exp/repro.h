@@ -1,0 +1,66 @@
+// Repro artifacts: a recorded ScheduleTrace bundled with the RunSpec that
+// produced it and the violation it witnessed, as a single JSON file.
+//
+// `kivati run --record-schedule repro.json` writes one; `kivati replay` and
+// `kivati shrink` load it back. The spec echo is what makes the file
+// self-contained: replaying needs the exact same workload, machine and
+// Kivati configuration, so the artifact stores enough of the RunSpec to
+// rebuild the engine with BuildEngine() — no command-line reconstruction by
+// hand. The target block names the violation the trace witnesses (AR id,
+// Figure-2 pattern, variable address); the shrinker minimizes against it.
+//
+// Specs with a prebuilt App or a full config_override cannot round-trip
+// through JSON; Save throws for them (in-process harnesses that build such
+// specs use the Engine API directly).
+#ifndef KIVATI_EXP_REPRO_H_
+#define KIVATI_EXP_REPRO_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/run_spec.h"
+#include "trace/trace.h"
+
+namespace kivati {
+namespace exp {
+
+// The violation a repro trace witnesses. Matching is by AR identity plus
+// the interleaving shape — not by cycle timestamps, which a shrunk schedule
+// legitimately changes.
+struct ReproTarget {
+  ArId ar = kInvalidAr;
+  std::string pattern;  // Figure-2 pattern, "R-W-W" etc. (trace/report.h)
+  Addr addr = kInvalidAddr;
+  unsigned size = 0;
+};
+
+struct ReproArtifact {
+  RunSpec spec;         // replay_schedule/record_schedule cleared on load
+  ScheduleTrace trace;
+  // The first violation of the recorded run, absent when it had none (the
+  // artifact is then a plain schedule recording, not shrinkable).
+  bool has_target = false;
+  ReproTarget target;
+  std::size_t violations = 0;  // total violations in the recorded run
+};
+
+// Whether `v` is the artifact's target violation.
+bool MatchesTarget(const ReproTarget& target, const ViolationRecord& v);
+
+// Bundles a finished recording. `violations` is the recorded run's full
+// violation list; the first entry becomes the target.
+ReproArtifact MakeReproArtifact(const RunSpec& spec, const ScheduleTrace& trace,
+                                const std::vector<ViolationRecord>& violations);
+
+// JSON round-trip. ToJson/Save throw std::runtime_error for specs that
+// cannot be echoed (prebuilt workload, config_override); FromJson/Load
+// throw on malformed input with a position-tagged message.
+std::string ToJson(const ReproArtifact& artifact);
+ReproArtifact ReproFromJson(const std::string& json);
+void SaveRepro(const ReproArtifact& artifact, const std::string& path);
+ReproArtifact LoadRepro(const std::string& path);
+
+}  // namespace exp
+}  // namespace kivati
+
+#endif  // KIVATI_EXP_REPRO_H_

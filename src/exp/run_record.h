@@ -9,10 +9,12 @@
 #ifndef KIVATI_EXP_RUN_RECORD_H_
 #define KIVATI_EXP_RUN_RECORD_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "kernel/config.h"
+#include "sched/schedule_trace.h"
 #include "trace/trace.h"
 
 namespace kivati {
@@ -46,6 +48,11 @@ struct RunRecord {
 
   // Host-side measurements; excluded by include_wall_clock=false.
   double wall_ms = 0.0;
+
+  // The recorded schedule when the spec asked for one (RunSpec::
+  // record_schedule). Not part of the JSON record — saved separately as a
+  // repro artifact (exp/repro.h).
+  std::shared_ptr<const ScheduleTrace> schedule;
 
   // Non-empty if the run threw instead of finishing (sweeps keep going).
   std::string error;

@@ -1,5 +1,6 @@
 #include "exp/run_spec.h"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -21,7 +22,39 @@ std::string ReadFileOrThrow(const std::string& path) {
   return buffer.str();
 }
 
+// Lowercase, with the accepted separators folded to '-'.
+std::string CanonicalBugKey(const std::string& name) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    if (c == ':' || c == ' ' || c == '_') {
+      key += '-';
+    } else {
+      key += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return key;
+}
+
 }  // namespace
+
+std::vector<std::string> CorpusBugNames() {
+  std::vector<std::string> names;
+  for (const apps::BugInfo& bug : apps::BugCorpus()) {
+    names.push_back(bug.app + "-" + bug.id);
+  }
+  return names;
+}
+
+const apps::BugInfo* FindCorpusBug(const std::string& name) {
+  const std::string key = CanonicalBugKey(name);
+  for (const apps::BugInfo& bug : apps::BugCorpus()) {
+    if (CanonicalBugKey(bug.app + "-" + bug.id) == key) {
+      return &bug;
+    }
+  }
+  return nullptr;
+}
 
 const std::vector<std::string>& RegisteredApps() {
   static const std::vector<std::string> kNames = {"nss", "vlc", "webstone", "tpcw", "specomp"};
@@ -53,16 +86,28 @@ std::shared_ptr<const apps::App> MakeRegisteredApp(const std::string& name,
 }
 
 std::shared_ptr<const apps::App> ResolveApp(const RunSpec& spec) {
-  const int sources = (spec.prebuilt != nullptr) + !spec.app.empty() + !spec.source_path.empty();
+  const int sources = (spec.prebuilt != nullptr) + !spec.app.empty() +
+                      !spec.source_path.empty() + !spec.bug.empty();
   if (sources != 1) {
     throw std::runtime_error("RunSpec needs exactly one workload source "
-                             "(app, source file, or prebuilt workload)");
+                             "(app, source file, corpus bug, or prebuilt workload)");
   }
   if (spec.prebuilt != nullptr) {
     return spec.prebuilt;
   }
   if (!spec.app.empty()) {
     return MakeRegisteredApp(spec.app, spec.scale);
+  }
+  if (!spec.bug.empty()) {
+    const apps::BugInfo* bug = FindCorpusBug(spec.bug);
+    if (bug == nullptr) {
+      std::string known;
+      for (const std::string& name : CorpusBugNames()) {
+        known += (known.empty() ? "" : ", ") + name;
+      }
+      throw std::runtime_error("unknown bug '" + spec.bug + "' (known: " + known + ")");
+    }
+    return std::make_shared<const apps::App>(apps::MakeBugApp(*bug, spec.scale.prune));
   }
   std::vector<std::pair<std::string, std::uint64_t>> threads = spec.threads;
   if (threads.empty()) {
@@ -146,10 +191,20 @@ EngineOptions MakeEngineOptions(const RunSpec& spec) {
 BuiltRun BuildEngine(const RunSpec& spec) { return BuildEngine(spec, ResolveApp(spec)); }
 
 BuiltRun BuildEngine(const RunSpec& spec, std::shared_ptr<const apps::App> app) {
+  if (spec.record_schedule && spec.replay_schedule != nullptr) {
+    throw std::runtime_error("RunSpec cannot both record and replay a schedule");
+  }
   BuiltRun run;
   run.app = std::move(app);
   run.options = MakeEngineOptions(spec);
   run.engine = std::make_unique<Engine>(run.app->workload, run.options);
+  if (spec.record_schedule) {
+    run.engine->RecordSchedule();
+  } else if (spec.replay_schedule != nullptr) {
+    // Shrunk traces are decision subsets, not full transcripts: always loose.
+    const bool strict = spec.replay_strict && !spec.replay_schedule->shrunk;
+    run.engine->ReplaySchedule(spec.replay_schedule, strict);
+  }
   return run;
 }
 

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "apps/bugs.h"
 #include "apps/workloads.h"
 #include "core/engine.h"
 
@@ -30,9 +31,10 @@ struct RunSpec {
   // configuration suffix (see SpecGrid).
   std::string label;
 
-  // Workload source — exactly one of the three:
+  // Workload source — exactly one of the four:
   std::string app;          // registered application name ("nss", "vlc", ...)
   std::string source_path;  // mini-C program compiled on resolve
+  std::string bug;          // corpus bug, "APP-ID" (e.g. "NSS-329072")
   std::shared_ptr<const apps::App> prebuilt;
 
   // Threads to start for source_path workloads: (function, r0 argument).
@@ -68,10 +70,24 @@ struct RunSpec {
 
   // Collect SYS_MARK values with this tag into the record (0 = none).
   std::int64_t latency_tag = 0;
+
+  // Schedule record/replay (docs/replay.md). At most one of the two:
+  // capture a ScheduleTrace during the run (RunRecord::schedule), or drive
+  // the scheduler from a previously recorded trace. Shrunk traces replay
+  // loosely regardless of `replay_strict`.
+  bool record_schedule = false;
+  std::shared_ptr<const ScheduleTrace> replay_schedule;
+  bool replay_strict = true;
 };
 
 // Names of the registered Table-2 performance applications, in row order.
 const std::vector<std::string>& RegisteredApps();
+
+// Canonical names of the Table-6 corpus bugs ("NSS-329072", ...), in row
+// order, and the lookup behind RunSpec::bug (case-insensitive; accepts
+// "APP-ID", "APP:ID" or "APP ID"). Lookup returns nullptr when unknown.
+std::vector<std::string> CorpusBugNames();
+const apps::BugInfo* FindCorpusBug(const std::string& name);
 
 // Builds one registered application. Throws std::runtime_error for an
 // unknown name.

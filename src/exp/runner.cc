@@ -90,12 +90,17 @@ RunRecord Execute(const RunSpec& spec) {
     BuiltRun run = BuildEngine(spec);
     const RunResult result = run.engine->Run(spec.budget);
     RunRecord record = MakeRecord(spec, *run.app, *run.engine, result);
+    if (const ScheduleTrace* trace = run.engine->recorded_schedule()) {
+      record.schedule = std::make_shared<const ScheduleTrace>(*trace);
+    }
     record.wall_ms = ElapsedMs(start);
     return record;
   } catch (const std::exception& e) {
     RunRecord record;
     record.label = spec.label.empty() ? SpecLabel(spec) : spec.label;
-    record.app = spec.app.empty() ? spec.source_path : spec.app;
+    record.app = !spec.app.empty()           ? spec.app
+                 : !spec.source_path.empty() ? spec.source_path
+                                             : spec.bug;
     record.vanilla = spec.vanilla;
     record.preset = spec.preset;
     record.mode = spec.mode;

@@ -1,0 +1,60 @@
+// Delta-debugging shrinker for recorded schedules (docs/replay.md).
+//
+// A recorded ScheduleTrace contains every scheduling decision of the run —
+// typically thousands, nearly all irrelevant to the violation it witnessed.
+// ShrinkSchedule minimizes the decision list while the replayed run still
+// produces the artifact's target violation (same AR id, same Figure-2
+// pattern, same variable address; timestamps are free to change):
+//
+//   1. verify the full trace reproduces the target under loose replay;
+//   2. binary-search the shortest reproducing prefix (decisions after the
+//      violation fires are dead weight by construction);
+//   3. ddmin over the prefix: repeatedly delete chunks (size N/2, N/4, ...
+//      down to single decisions) that the reproduction survives, to a
+//      fixpoint — a 1-minimal decision subset.
+//
+// Candidates replay loosely: remaining decisions are consumed as a plain
+// choice stream and the scheduler falls back to deterministic first-pick /
+// no-pause once the stream runs dry. That fallback is what makes minimal
+// traces meaningful — an empty trace is a schedule with *no* injected
+// nondeterminism, not a rerun of the original seed. Each candidate runs in
+// a fresh engine with early exit as soon as the target violation appears;
+// the stopping criterion is 1-minimality or the `max_runs` budget,
+// whichever comes first.
+#ifndef KIVATI_EXP_SHRINK_H_
+#define KIVATI_EXP_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+#include "exp/repro.h"
+
+namespace kivati {
+namespace exp {
+
+struct ShrinkOptions {
+  // Candidate-execution budget; the shrinker returns its best-so-far trace
+  // when exhausted (ShrinkResult::budget_exhausted).
+  std::size_t max_runs = 300;
+  // Optional progress sink ("prefix 512 -> 256", ...).
+  std::function<void(const std::string&)> progress;
+};
+
+struct ShrinkResult {
+  ScheduleTrace trace;  // minimized; shrunk=true, checkpoints dropped
+  bool reproduced = false;          // full trace reproduced the target at all
+  bool budget_exhausted = false;    // stopped on max_runs, not on 1-minimality
+  std::size_t runs = 0;             // candidate executions performed
+  std::size_t original_decisions = 0;
+};
+
+// Minimizes `artifact.trace` against `artifact.target`. Throws
+// std::runtime_error if the artifact has no target violation. When the full
+// trace does not reproduce the target (reproduced=false), the original
+// decisions are returned unshrunk.
+ShrinkResult ShrinkSchedule(const ReproArtifact& artifact, const ShrinkOptions& options = {});
+
+}  // namespace exp
+}  // namespace kivati
+
+#endif  // KIVATI_EXP_SHRINK_H_

@@ -15,6 +15,9 @@ std::string WorkloadLabel(const RunSpec& spec) {
   if (spec.prebuilt != nullptr) {
     return spec.prebuilt->workload.name;
   }
+  if (!spec.bug.empty()) {
+    return spec.bug;
+  }
   return spec.source_path;
 }
 

@@ -242,7 +242,19 @@ bool KivatiKernel::MaybePauseForBugFinding(ThreadId tid) {
   if (config_.mode != KivatiMode::kBugFinding) {
     return false;
   }
-  if (!pause_rng_.NextBool(config_.bugfinding_pause_probability)) {
+  // The pause sample is a nondeterministic scheduling decision: route it
+  // through the schedule controller when one is installed (docs/replay.md).
+  ScheduleController* sched = machine_.schedule_controller();
+  bool pause;
+  if (sched != nullptr && sched->replaying()) {
+    pause = sched->ReplayPause(tid, machine_.instructions_executed());
+  } else {
+    pause = pause_rng_.NextBool(config_.bugfinding_pause_probability);
+    if (sched != nullptr) {
+      sched->RecordPause(tid, pause, machine_.instructions_executed());
+    }
+  }
+  if (!pause) {
     return false;
   }
   ++stats().bugfinding_pauses;

@@ -112,20 +112,41 @@ void Machine::MakeRunnable(ThreadId tid) {
 }
 
 ThreadId Machine::PopRunnable() {
-  while (!ready_.empty()) {
-    if (config_.policy == SchedPolicy::kRandom && ready_.size() > 1) {
-      const std::size_t pick = rng_.NextBelow(ready_.size());
-      std::swap(ready_.front(), ready_[pick]);
-    }
-    const ThreadId tid = ready_.front();
-    ready_.pop_front();
-    queued_[tid] = false;
-    ThreadContext& t = thread(tid);
+  // Purge entries that are no longer runnable (done, sleeping, suspended, or
+  // already on a core) *before* drawing, so each random pick consumes
+  // exactly one RNG draw and is a pure function of the runnable set. Drawing
+  // over stale entries would make the schedule depend on dead queue contents
+  // and burn a variable number of draws per logical decision — which is what
+  // schedule recording (docs/replay.md) must rule out.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    const ThreadId tid = ready_[i];
+    const ThreadContext& t = thread(tid);
     if (t.state == ThreadState::kRunnable && !t.on_core) {
-      return tid;
+      ready_[kept++] = tid;
+    } else {
+      queued_[tid] = false;
     }
   }
-  return kInvalidThread;
+  ready_.resize(kept);
+  if (ready_.empty()) {
+    return kInvalidThread;
+  }
+  std::size_t pick = 0;
+  if (config_.policy == SchedPolicy::kRandom && ready_.size() > 1) {
+    if (sched_ctl_ != nullptr && sched_ctl_->replaying()) {
+      pick = sched_ctl_->ReplayPick(ready_.size(), instructions_executed_);
+    } else {
+      pick = rng_.NextBelow(ready_.size());
+    }
+    if (sched_ctl_ != nullptr) {
+      sched_ctl_->CommitPick(ready_.size(), pick, ready_[pick], instructions_executed_);
+    }
+  }
+  const ThreadId tid = ready_[pick];
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(pick));
+  queued_[tid] = false;
+  return tid;
 }
 
 void Machine::WakeExpiredTimers() {
@@ -162,6 +183,9 @@ void Machine::Reschedule(CoreId core, bool timer_interrupt) {
   const ThreadId prev = c.current;
   if (timer_interrupt) {
     c.clock += config_.costs.context_switch;
+    if (sched_ctl_ != nullptr) {
+      sched_ctl_->OnPreemption(core, prev, instructions_executed_);
+    }
     if (hooks_ != nullptr) {
       hooks_->OnKernelEntry(core);
     }

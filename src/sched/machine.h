@@ -33,6 +33,7 @@
 #include "mem/address_space.h"
 #include "sched/cost_model.h"
 #include "sched/hooks.h"
+#include "sched/schedule_trace.h"
 #include "sched/thread.h"
 #include "trace/trace.h"
 
@@ -74,6 +75,14 @@ class Machine {
   // Installs the Kivati runtime (may be null for vanilla runs). Must be
   // called before Run.
   void set_hooks(KivatiHooks* hooks) { hooks_ = hooks; }
+
+  // Installs the schedule record/replay controller (may be null; owned by
+  // the caller — see docs/replay.md). Must be set before Run; the kernel's
+  // pause sampling reads it back through schedule_controller().
+  void set_schedule_controller(ScheduleController* controller) { sched_ctl_ = controller; }
+  ScheduleController* schedule_controller() const { return sched_ctl_; }
+
+  std::uint64_t instructions_executed() const { return instructions_executed_; }
 
   // --- Setup ---------------------------------------------------------------
 
@@ -145,7 +154,9 @@ class Machine {
     explicit Core(unsigned watchpoints) : debug_regs(watchpoints) {}
   };
 
-  // Ready-queue helpers. The queue may hold stale entries; Pop skips them.
+  // Ready-queue helpers. The queue may hold stale entries; Pop purges them
+  // before picking so each scheduling decision is a pure function of the
+  // runnable set.
   void MakeRunnable(ThreadId tid);
   ThreadId PopRunnable();
 
@@ -181,6 +192,7 @@ class Machine {
   Trace trace_;
   Rng rng_;
   KivatiHooks* hooks_ = nullptr;
+  ScheduleController* sched_ctl_ = nullptr;
 
   std::vector<std::unique_ptr<ThreadContext>> threads_;
   std::vector<bool> queued_;

@@ -1,0 +1,171 @@
+#include "sched/schedule_trace.h"
+
+#include <sstream>
+
+namespace kivati {
+namespace {
+
+std::string DescribeDecision(const SchedDecision& d) {
+  std::ostringstream out;
+  out << ToString(d.kind) << "(value=" << d.value << ", choices=" << d.choices << ", t"
+      << d.subject << ", instr=" << d.instr << ")";
+  return out.str();
+}
+
+}  // namespace
+
+const char* ToString(SchedDecisionKind kind) {
+  switch (kind) {
+    case SchedDecisionKind::kPick: return "pick";
+    case SchedDecisionKind::kPause: return "pause";
+  }
+  return "?";
+}
+
+ScheduleController::ScheduleController(std::uint64_t seed) : mode_(Mode::kRecord) {
+  recorded_.seed = seed;
+}
+
+ScheduleController::ScheduleController(const ScheduleTrace& trace, Mode mode)
+    : mode_(mode), replay_(&trace) {}
+
+const SchedDecision& ScheduleController::ExpectDecision(SchedDecisionKind kind,
+                                                        std::uint64_t instr) {
+  if (cursor_ >= replay_->decisions.size()) {
+    std::ostringstream out;
+    out << "schedule divergence at decision #" << cursor_ << ": replay needs a "
+        << ToString(kind) << " at instruction " << instr << " but the trace has only "
+        << replay_->decisions.size() << " decision(s)";
+    throw ScheduleDivergenceError(out.str(), cursor_);
+  }
+  const SchedDecision& d = replay_->decisions[cursor_];
+  if (d.kind != kind || d.instr != instr) {
+    std::ostringstream out;
+    out << "schedule divergence at decision #" << cursor_ << ": recorded "
+        << DescribeDecision(d) << ", replay reached a " << ToString(kind)
+        << " at instruction " << instr;
+    throw ScheduleDivergenceError(out.str(), cursor_);
+  }
+  return d;
+}
+
+std::size_t ScheduleController::ReplayPick(std::size_t choices, std::uint64_t instr) {
+  if (mode_ == Mode::kReplayLoose) {
+    if (cursor_ >= replay_->decisions.size() || choices == 0) {
+      return 0;  // exhausted: deterministic first-runnable fallback
+    }
+    const SchedDecision& d = replay_->decisions[cursor_++];
+    return d.value % choices;
+  }
+  const SchedDecision& d = ExpectDecision(SchedDecisionKind::kPick, instr);
+  if (d.choices != choices) {
+    std::ostringstream out;
+    out << "schedule divergence at decision #" << cursor_ << ": recorded pick among "
+        << d.choices << " runnable thread(s), replay has " << choices << " at instruction "
+        << instr;
+    throw ScheduleDivergenceError(out.str(), cursor_);
+  }
+  return d.value;
+}
+
+void ScheduleController::CommitPick(std::size_t choices, std::size_t pick, ThreadId chosen,
+                                    std::uint64_t instr) {
+  switch (mode_) {
+    case Mode::kRecord:
+      recorded_.decisions.push_back({SchedDecisionKind::kPick,
+                                     static_cast<std::uint32_t>(pick),
+                                     static_cast<std::uint32_t>(choices), chosen, instr});
+      break;
+    case Mode::kReplayStrict: {
+      const SchedDecision& d = replay_->decisions[cursor_];
+      if (d.subject != chosen) {
+        std::ostringstream out;
+        out << "schedule divergence at decision #" << cursor_ << ": recorded pick of t"
+            << d.subject << ", replay picked t" << chosen << " at instruction " << instr;
+        throw ScheduleDivergenceError(out.str(), cursor_);
+      }
+      ++cursor_;
+      break;
+    }
+    case Mode::kReplayLoose:
+      break;  // cursor already advanced by ReplayPick
+  }
+}
+
+bool ScheduleController::ReplayPause(ThreadId tid, std::uint64_t instr) {
+  if (mode_ == Mode::kReplayLoose) {
+    if (cursor_ >= replay_->decisions.size()) {
+      return false;  // exhausted: no pauses beyond the minimized schedule
+    }
+    return (replay_->decisions[cursor_++].value & 1) != 0;
+  }
+  const SchedDecision& d = ExpectDecision(SchedDecisionKind::kPause, instr);
+  if (d.subject != tid) {
+    std::ostringstream out;
+    out << "schedule divergence at decision #" << cursor_ << ": recorded pause sample for t"
+        << d.subject << ", replay sampled t" << tid << " at instruction " << instr;
+    throw ScheduleDivergenceError(out.str(), cursor_);
+  }
+  ++cursor_;
+  return d.value != 0;
+}
+
+void ScheduleController::RecordPause(ThreadId tid, bool pause, std::uint64_t instr) {
+  if (mode_ != Mode::kRecord) {
+    return;
+  }
+  recorded_.decisions.push_back(
+      {SchedDecisionKind::kPause, pause ? 1u : 0u, 0u, tid, instr});
+}
+
+void ScheduleController::OnPreemption(CoreId core, ThreadId thread, std::uint64_t instr) {
+  switch (mode_) {
+    case Mode::kRecord:
+      recorded_.checkpoints.push_back({instr, thread, core});
+      break;
+    case Mode::kReplayStrict: {
+      if (checkpoint_cursor_ >= replay_->checkpoints.size()) {
+        std::ostringstream out;
+        out << "schedule divergence at checkpoint #" << checkpoint_cursor_
+            << ": replay preempted t" << thread << " on core " << core << " at instruction "
+            << instr << " past the end of the recorded trace";
+        throw ScheduleDivergenceError(out.str(), checkpoint_cursor_);
+      }
+      const SchedCheckpoint& c = replay_->checkpoints[checkpoint_cursor_];
+      if (c.instr != instr || c.thread != thread || c.core != core) {
+        std::ostringstream out;
+        out << "schedule divergence at checkpoint #" << checkpoint_cursor_
+            << ": recorded preemption of t" << c.thread << " on core " << c.core
+            << " at instruction " << c.instr << ", replay preempted t" << thread
+            << " on core " << core << " at instruction " << instr;
+        throw ScheduleDivergenceError(out.str(), checkpoint_cursor_);
+      }
+      ++checkpoint_cursor_;
+      break;
+    }
+    case Mode::kReplayLoose:
+      break;
+  }
+}
+
+void ScheduleController::VerifyFullyConsumed() const {
+  if (mode_ != Mode::kReplayStrict) {
+    return;
+  }
+  if (cursor_ != replay_->decisions.size()) {
+    std::ostringstream out;
+    out << "schedule divergence at decision #" << cursor_ << ": replay ended with "
+        << replay_->decisions.size() - cursor_ << " of " << replay_->decisions.size()
+        << " recorded decision(s) unconsumed";
+    throw ScheduleDivergenceError(out.str(), cursor_);
+  }
+  if (checkpoint_cursor_ != replay_->checkpoints.size()) {
+    std::ostringstream out;
+    out << "schedule divergence at checkpoint #" << checkpoint_cursor_
+        << ": replay ended with " << replay_->checkpoints.size() - checkpoint_cursor_
+        << " recorded checkpoint(s) unconsumed";
+    throw ScheduleDivergenceError(out.str(), checkpoint_cursor_);
+  }
+}
+
+}  // namespace kivati

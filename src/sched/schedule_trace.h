@@ -1,0 +1,144 @@
+// Schedule record/replay (docs/replay.md).
+//
+// Every run is deterministic given its seed, but a seed is an opaque repro:
+// there is no way to inspect, share, or minimize the interleaving it
+// produced. A ScheduleTrace captures the run's nondeterministic scheduling
+// decisions explicitly — the random-policy pick per Machine::PopRunnable and
+// the bug-finding pause samples — plus quantum-preemption checkpoints used
+// purely for divergence detection. Replaying the trace drives the scheduler
+// from the recorded decisions instead of the RNG, reproducing the run
+// byte-for-byte; any mismatch between the replayed execution and the
+// recorded one (different runnable-set size, different thread picked, a
+// preemption at a different instruction) raises ScheduleDivergenceError with
+// the offending decision index instead of drifting silently.
+//
+// Shrunk traces (exp::ShrinkSchedule) replay in *loose* mode: decisions are
+// consumed as a plain choice stream (pick = value % runnable, pause =
+// value & 1), verification is off, and once the stream is exhausted the
+// scheduler falls back to the deterministic first-runnable pick with no
+// pauses. A loose trace is therefore a self-contained minimized schedule:
+// the decisions it keeps are the nondeterminism sufficient to trigger the
+// recorded violation.
+#ifndef KIVATI_SCHED_SCHEDULE_TRACE_H_
+#define KIVATI_SCHED_SCHEDULE_TRACE_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kivati {
+
+enum class SchedDecisionKind : std::uint8_t {
+  kPick,   // random-policy PopRunnable pick among >1 runnable threads
+  kPause,  // bug-finding pause sample at a begin_atomic
+};
+
+const char* ToString(SchedDecisionKind kind);
+
+// One recorded nondeterministic decision.
+struct SchedDecision {
+  SchedDecisionKind kind = SchedDecisionKind::kPick;
+  std::uint32_t value = 0;    // kPick: index into the runnable set; kPause: 0/1
+  std::uint32_t choices = 0;  // kPick: runnable-set size at the decision; kPause: 0
+  ThreadId subject = kInvalidThread;  // kPick: thread picked; kPause: thread sampled
+  std::uint64_t instr = 0;    // machine-wide instructions executed at the decision
+
+  bool operator==(const SchedDecision&) const = default;
+};
+
+// Verification checkpoint recorded at each quantum-timer preemption. Not a
+// decision (the quantum expiry is a deterministic function of the executed
+// instructions); replay uses it to pin down *where* a divergence began.
+struct SchedCheckpoint {
+  std::uint64_t instr = 0;
+  ThreadId thread = kInvalidThread;  // thread whose quantum expired
+  CoreId core = 0;
+
+  bool operator==(const SchedCheckpoint&) const = default;
+};
+
+struct ScheduleTrace {
+  std::uint64_t seed = 0;  // scheduler seed of the recorded run (informational)
+  // True for traces produced by the shrinker: replay loosely (see above).
+  bool shrunk = false;
+  std::vector<SchedDecision> decisions;
+  std::vector<SchedCheckpoint> checkpoints;
+};
+
+// Replay found the execution deviating from the recorded run. The message
+// names the decision/checkpoint index and both sides of the mismatch.
+class ScheduleDivergenceError : public std::runtime_error {
+ public:
+  ScheduleDivergenceError(const std::string& what, std::size_t index)
+      : std::runtime_error(what), index_(index) {}
+
+  // Index of the diverging decision (or checkpoint) in the trace.
+  std::size_t index() const { return index_; }
+
+ private:
+  std::size_t index_ = 0;
+};
+
+// Drives recording or replay of one run. The Machine (picks, preemption
+// checkpoints) and the Kivati kernel (pause samples) call in; Engine owns
+// the controller and installs it before Run.
+class ScheduleController {
+ public:
+  enum class Mode : std::uint8_t { kRecord, kReplayStrict, kReplayLoose };
+
+  // Recording into an internally owned trace.
+  explicit ScheduleController(std::uint64_t seed);
+  // Replaying `trace` (borrowed; must outlive the controller). Strict mode
+  // verifies every decision and checkpoint; loose mode consumes the
+  // decisions as a plain choice stream (shrunk traces).
+  ScheduleController(const ScheduleTrace& trace, Mode mode);
+
+  Mode mode() const { return mode_; }
+  bool recording() const { return mode_ == Mode::kRecord; }
+  bool replaying() const { return mode_ != Mode::kRecord; }
+
+  // --- Machine: PopRunnable picks ------------------------------------------
+  // Replay only: the pick index for a decision among `choices` runnable
+  // threads. Strict mode throws ScheduleDivergenceError on kind/size/instr
+  // mismatch or an exhausted trace; loose mode remaps (value % choices) and
+  // returns 0 once exhausted.
+  std::size_t ReplayPick(std::size_t choices, std::uint64_t instr);
+  // Both modes, after the pick is resolved: records the decision, or (strict
+  // replay) verifies the picked thread matches the recording.
+  void CommitPick(std::size_t choices, std::size_t pick, ThreadId chosen, std::uint64_t instr);
+
+  // --- Kernel: bug-finding pause samples -----------------------------------
+  // Replay only: whether the sampled thread pauses. Loose mode returns
+  // false once exhausted.
+  bool ReplayPause(ThreadId tid, std::uint64_t instr);
+  void RecordPause(ThreadId tid, bool pause, std::uint64_t instr);
+
+  // --- Machine: quantum-preemption checkpoints -----------------------------
+  void OnPreemption(CoreId core, ThreadId thread, std::uint64_t instr);
+
+  // --- Introspection --------------------------------------------------------
+  const ScheduleTrace& trace() const { return recording() ? recorded_ : *replay_; }
+  std::size_t decisions_consumed() const { return cursor_; }
+  std::size_t checkpoints_consumed() const { return checkpoint_cursor_; }
+  // Strict replay: throws ScheduleDivergenceError unless every recorded
+  // decision and checkpoint was consumed (a shorter replayed run is a
+  // divergence too). No-op in other modes.
+  void VerifyFullyConsumed() const;
+
+ private:
+  // Next decision in strict replay; throws on exhaustion or kind mismatch.
+  const SchedDecision& ExpectDecision(SchedDecisionKind kind, std::uint64_t instr);
+
+  Mode mode_;
+  ScheduleTrace recorded_;              // record mode
+  const ScheduleTrace* replay_ = nullptr;  // replay modes
+  std::size_t cursor_ = 0;
+  std::size_t checkpoint_cursor_ = 0;
+};
+
+}  // namespace kivati
+
+#endif  // KIVATI_SCHED_SCHEDULE_TRACE_H_

@@ -10,7 +10,9 @@ namespace {
 
 char TypeChar(AccessType type) { return type == AccessType::kRead ? 'R' : 'W'; }
 
-std::string PatternOf(const ViolationRecord& v) {
+}  // namespace
+
+std::string ViolationPattern(const ViolationRecord& v) {
   std::string pattern;
   pattern += TypeChar(v.first);
   pattern += '-';
@@ -19,8 +21,6 @@ std::string PatternOf(const ViolationRecord& v) {
   pattern += TypeChar(v.second);
   return pattern;
 }
-
-}  // namespace
 
 std::string FormatViolationReport(const Trace& trace, const ArSymbolizer& symbolizer) {
   if (trace.violations().empty()) {
@@ -38,7 +38,7 @@ std::string FormatViolationReport(const Trace& trace, const ArSymbolizer& symbol
     Group& group = groups[v.ar_id];
     ++group.count;
     group.prevented += v.prevented ? 1 : 0;
-    ++group.patterns[PatternOf(v)];
+    ++group.patterns[ViolationPattern(v)];
     if (group.first == nullptr || v.when < group.first->when) {
       group.first = &v;
     }
@@ -70,8 +70,12 @@ std::string FormatViolationReport(const Trace& trace, const ArSymbolizer& symbol
   return out.str();
 }
 
-std::string FormatStatsSummary(const RuntimeStats& stats, double virtual_seconds) {
+std::string FormatStatsSummary(const RuntimeStats& stats, double virtual_seconds,
+                               const std::string& schedule_note) {
   std::ostringstream out;
+  if (!schedule_note.empty()) {
+    out << "schedule: " << schedule_note << "\n";
+  }
   auto rate = [&](std::uint64_t n) -> std::string {
     if (virtual_seconds <= 0.0) {
       return "";

@@ -17,6 +17,10 @@ namespace kivati {
 // an empty string if unknown.
 using ArSymbolizer = std::function<std::string(ArId)>;
 
+// The Figure-2 interleaving pattern of a violation, local-remote-local, as
+// "R-W-W" etc. Used by reports and by the repro shrinker's target match.
+std::string ViolationPattern(const ViolationRecord& v);
+
 // Per-AR grouped violation report:
 //
 //   AR 3 (shared_counter in worker()): 12 violation(s), 11 prevented
@@ -25,7 +29,10 @@ using ArSymbolizer = std::function<std::string(ArId)>;
 std::string FormatViolationReport(const Trace& trace, const ArSymbolizer& symbolizer = {});
 
 // Counter summary, rates normalized by `virtual_seconds` when nonzero.
-std::string FormatStatsSummary(const RuntimeStats& stats, double virtual_seconds = 0.0);
+// `schedule_note` (e.g. "replayed from trace.json") is printed as a leading
+// line so replayed runs are distinguishable in reports.
+std::string FormatStatsSummary(const RuntimeStats& stats, double virtual_seconds = 0.0,
+                               const std::string& schedule_note = {});
 
 }  // namespace kivati
 

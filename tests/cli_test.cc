@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <regex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace kivati {
 namespace {
@@ -43,6 +46,67 @@ CommandResult RunCli(const std::string& args) { return RunWithRedirect(args, "2>
 // Captures stdout only — for checking that --json keeps stdout pure.
 CommandResult RunCliStdout(const std::string& args) {
   return RunWithRedirect(args, "2>/dev/null");
+}
+
+// Asserts `text` is exactly one JSON document: an object with balanced
+// braces/brackets outside strings and nothing but whitespace after it. Any
+// human-readable line leaking onto stdout fails the brace scan or shows up
+// as leading/trailing content.
+void ExpectSingleJsonDocument(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+    ++i;
+  }
+  ASSERT_LT(i, text.size()) << "empty stdout, expected a JSON document";
+  ASSERT_EQ(text[i], '{') << "stdout does not start with a JSON object:\n" << text;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  std::size_t end = std::string::npos;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      if (depth == 0) {
+        end = i;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(end, std::string::npos) << "unbalanced JSON on stdout:\n" << text;
+  for (i = end + 1; i < text.size(); ++i) {
+    ASSERT_TRUE(std::isspace(static_cast<unsigned char>(text[i])) != 0)
+        << "trailing content after the JSON document:\n" << text.substr(end + 1);
+  }
+}
+
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Drops the host-wall-clock fields so two JSON records of the same virtual
+// run compare equal.
+std::string StripWallClock(std::string json) {
+  json = std::regex_replace(json, std::regex("\"wall_ms\":[0-9.]+,"), "");
+  json = std::regex_replace(json, std::regex("\"workers\":[0-9]+,"), "");
+  return json;
 }
 
 class CliTest : public ::testing::Test {
@@ -342,6 +406,125 @@ TEST_F(CliTest, SweepRejectsBadGrids) {
   const CommandResult both = RunCli("sweep " + program_ + " --apps nss");
   EXPECT_NE(both.exit_code, 0);
   EXPECT_NE(both.output.find("not both"), std::string::npos);
+}
+
+// Satellite audit: every --json mode must keep stdout a single JSON document
+// with all human-readable reporting on stderr.
+TEST_F(CliTest, JsonModesKeepStdoutPure) {
+  const std::string trace = (dir_ / "trace.json").string();
+  const CommandResult record =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 "
+             "--record-schedule " + trace);
+  ASSERT_EQ(record.exit_code, 0) << record.output;
+  ASSERT_TRUE(std::filesystem::exists(trace));
+
+  const std::vector<std::pair<std::string, std::string>> modes = {
+      {"annotate", "annotate " + program_ + " --json"},
+      {"analyze", "analyze " + program_ + " --threads racer:0,racer:1 --json"},
+      {"run", "run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 --json -"},
+      {"sweep", "sweep " + program_ + " --threads racer:0,racer:1 --seeds 1,2 --json -"},
+      {"replay", "replay " + trace + " --json -"},
+      {"shrink", "shrink " + trace + " --max-runs 12 --json -"},
+  };
+  for (const auto& [label, args] : modes) {
+    SCOPED_TRACE(label);
+    const CommandResult result = RunCliStdout(args);
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    ExpectSingleJsonDocument(result.output);
+  }
+}
+
+TEST_F(CliTest, RecordedScheduleReplaysByteIdentical) {
+  const std::string trace = (dir_ / "trace.json").string();
+  const std::string recorded = (dir_ / "recorded.json").string();
+  const std::string replayed = (dir_ / "replayed.json").string();
+
+  const CommandResult record =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 "
+             "--record-schedule " + trace + " --json " + recorded);
+  ASSERT_EQ(record.exit_code, 0) << record.output;
+  EXPECT_NE(record.output.find("schedule: recorded"), std::string::npos) << record.output;
+
+  const CommandResult replay = RunCli("replay " + trace + " --json " + replayed);
+  ASSERT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_NE(replay.output.find("schedule: replayed"), std::string::npos) << replay.output;
+
+  const std::string a = StripWallClock(ReadFileToString(recorded));
+  const std::string b = StripWallClock(ReadFileToString(replayed));
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "replayed run record differs from the recording";
+}
+
+TEST_F(CliTest, ShrinkProducesShorterReproducingTrace) {
+  const std::string trace = (dir_ / "trace.json").string();
+  const std::string minimized = (dir_ / "trace.min.json").string();
+  const CommandResult record =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 "
+             "--record-schedule " + trace);
+  ASSERT_EQ(record.exit_code, 0) << record.output;
+
+  const CommandResult shrink =
+      RunCliStdout("shrink " + trace + " --max-runs 40 --json -");
+  ASSERT_EQ(shrink.exit_code, 0) << shrink.output;
+  ExpectSingleJsonDocument(shrink.output);
+  EXPECT_NE(shrink.output.find("\"kind\":\"kivati_shrink\""), std::string::npos);
+  EXPECT_NE(shrink.output.find("\"reproduced\":true"), std::string::npos) << shrink.output;
+
+  // Extract the decision counts from the summary and require a strict shrink.
+  const std::regex count_re("\"original_decisions\":([0-9]+),\"decisions\":([0-9]+)");
+  std::smatch m;
+  ASSERT_TRUE(std::regex_search(shrink.output, m, count_re)) << shrink.output;
+  const long before = std::stol(m[1].str());
+  const long after = std::stol(m[2].str());
+  EXPECT_LT(after, before);
+
+  // The minimized artifact must replay (loosely) and still exit cleanly.
+  ASSERT_TRUE(std::filesystem::exists(minimized));
+  const CommandResult replay = RunCli("replay " + minimized);
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_NE(replay.output.find("loose"), std::string::npos) << replay.output;
+}
+
+TEST_F(CliTest, ReplayOfTamperedTraceExitsWithDivergence) {
+  const std::string trace = (dir_ / "trace.json").string();
+  const CommandResult record =
+      RunCli("run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 "
+             "--record-schedule " + trace);
+  ASSERT_EQ(record.exit_code, 0) << record.output;
+
+  // Flip the first two-way pick in the serialized trace; strict replay must
+  // notice the divergence and exit with the dedicated status code.
+  std::string text = ReadFileToString(trace);
+  std::size_t pos = text.find("[\"pick\",0,2,");
+  if (pos != std::string::npos) {
+    text.replace(pos, 12, "[\"pick\",1,2,");
+  } else {
+    pos = text.find("[\"pick\",1,2,");
+    ASSERT_NE(pos, std::string::npos) << "no two-way pick to tamper with";
+    text.replace(pos, 12, "[\"pick\",0,2,");
+  }
+  std::ofstream(trace) << text;
+
+  const CommandResult replay = RunCli("replay " + trace);
+  EXPECT_EQ(replay.exit_code, 3) << replay.output;
+  EXPECT_NE(replay.output.find("diverge"), std::string::npos) << replay.output;
+}
+
+TEST_F(CliTest, RunBugSelectsCorpusEntryAndValidatesNames) {
+  const CommandResult result = RunCliStdout(
+      "run --bug nss-329072 --mode bug-finding --seed 17 --pause-ms 50 "
+      "--max-cycles 3000000 --json -");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  ExpectSingleJsonDocument(result.output);
+  EXPECT_NE(result.output.find("nss-329072"), std::string::npos);
+
+  const CommandResult unknown = RunCli("run --bug nosuch-1");
+  EXPECT_NE(unknown.exit_code, 0);
+  EXPECT_NE(unknown.output.find("unknown bug"), std::string::npos);
+  EXPECT_NE(unknown.output.find("NSS-329072"), std::string::npos) << "error should list known bugs";
+
+  const CommandResult both = RunCli("run " + program_ + " --bug NSS-329072");
+  EXPECT_NE(both.exit_code, 0);
 }
 
 }  // namespace

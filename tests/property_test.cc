@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "compile/compiler.h"
 #include "core/engine.h"
+#include "trace/histogram.h"
 
 namespace kivati {
 namespace {
@@ -238,6 +239,78 @@ TEST_P(FuzzTest, PipelineInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<std::uint64_t>(1, 41));
+
+// P6: CycleHistogram::Percentile is a well-behaved quantile estimate — for
+// any recorded multiset it is monotone non-decreasing in p and always lands
+// inside [min, max]. Degenerate shapes (single value, single bucket, the
+// saturated top bucket) report exactly or within the bucket's true bounds.
+class HistogramPercentileTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramPercentileTest, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  CycleHistogram hist;
+  const int n = static_cast<int>(rng.NextInRange(1, 2000));
+  for (int i = 0; i < n; ++i) {
+    // Span the full bucket range, including 0 and the saturated top bucket.
+    const unsigned shift = static_cast<unsigned>(rng.NextInRange(0, 50));
+    hist.Record(rng.NextBelow(2) == 0 ? rng.NextBelow(Cycles{1} << shift)
+                                      : (Cycles{1} << shift) + rng.NextBelow(1000));
+  }
+  Cycles previous = 0;
+  for (int step = 0; step <= 100; ++step) {
+    const double p = static_cast<double>(step) / 100.0;
+    const Cycles estimate = hist.Percentile(p);
+    EXPECT_GE(estimate, hist.min()) << "p=" << p;
+    EXPECT_LE(estimate, hist.max()) << "p=" << p;
+    EXPECT_GE(estimate, previous) << "percentile not monotone at p=" << p;
+    previous = estimate;
+  }
+  // Out-of-range p clamps instead of misbehaving.
+  EXPECT_EQ(hist.Percentile(-0.5), hist.Percentile(0.0));
+  EXPECT_EQ(hist.Percentile(2.0), hist.Percentile(1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPercentileTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(HistogramPercentileTest, SingleValueReportsExactly) {
+  for (const Cycles value : {Cycles{0}, Cycles{1}, Cycles{5}, Cycles{4095}, Cycles{1} << 42,
+                             (Cycles{1} << 50) + 17}) {
+    CycleHistogram hist;
+    hist.Record(value);
+    for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+      EXPECT_EQ(hist.Percentile(p), value) << "value=" << value << " p=" << p;
+    }
+  }
+}
+
+TEST(HistogramPercentileTest, SingleBucketStaysInsideBucketBounds) {
+  CycleHistogram hist;
+  for (Cycles v = 512; v < 1024; v += 17) {  // all in bucket [512, 1024)
+    hist.Record(v);
+  }
+  for (const double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const Cycles estimate = hist.Percentile(p);
+    EXPECT_GE(estimate, hist.min());
+    EXPECT_LE(estimate, hist.max());
+  }
+}
+
+TEST(HistogramPercentileTest, SaturatedTopBucketClampsToObservedMax) {
+  CycleHistogram hist;
+  const Cycles huge = Cycles{1} << 60;  // far beyond the last finite bucket
+  hist.Record(huge);
+  hist.Record(huge + 12345);
+  hist.Record(3);
+  EXPECT_EQ(hist.Percentile(1.0), huge + 12345);
+  EXPECT_LE(hist.Percentile(0.5), hist.max());
+  EXPECT_GE(hist.Percentile(0.5), hist.min());
+}
+
+TEST(HistogramPercentileTest, EmptyHistogramReportsZero) {
+  const CycleHistogram hist;
+  EXPECT_EQ(hist.Percentile(0.5), 0u);
+}
 
 }  // namespace
 }  // namespace kivati

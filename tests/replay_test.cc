@@ -1,0 +1,224 @@
+// Schedule record/replay (docs/replay.md): replaying a recorded trace must
+// reproduce the run byte-for-byte, divergence must be detected instead of
+// drifting, artifacts must round-trip through JSON, and the shrinker must
+// find a strictly smaller schedule that still triggers the recorded bug.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/repro.h"
+#include "exp/run_record.h"
+#include "exp/run_spec.h"
+#include "exp/runner.h"
+#include "exp/shrink.h"
+#include "trace/report.h"
+
+namespace kivati {
+namespace {
+
+// A corpus-bug spec matching the soundness suite's detection configuration,
+// with a reduced budget to keep the 11-bug sweep fast.
+exp::RunSpec BugSpec(const std::string& bug, Cycles budget = 10'000'000) {
+  exp::RunSpec spec;
+  spec.bug = bug;
+  spec.mode = KivatiMode::kBugFinding;
+  spec.pause_ms = 50.0;
+  spec.machine.seed = 17;
+  spec.budget = budget;
+  return spec;
+}
+
+std::vector<std::string> ViolationStrings(const Engine& engine) {
+  std::vector<std::string> out;
+  for (const ViolationRecord& v : engine.trace().violations()) {
+    out.push_back(ToString(v) + " when=" + std::to_string(v.when) +
+                  (v.prevented ? " prevented" : " detected"));
+  }
+  return out;
+}
+
+struct Recorded {
+  exp::BuiltRun run;
+  RunResult result;
+  std::shared_ptr<const ScheduleTrace> trace;
+};
+
+Recorded RecordRun(const exp::RunSpec& base) {
+  exp::RunSpec spec = base;
+  spec.record_schedule = true;
+  Recorded rec;
+  rec.run = exp::BuildEngine(spec);
+  rec.result = rec.run.engine->Run(spec.budget);
+  rec.trace = std::make_shared<const ScheduleTrace>(*rec.run.engine->recorded_schedule());
+  return rec;
+}
+
+class CorpusReplayTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorpusReplayTest, ReplayIsByteIdentical) {
+  const apps::BugInfo& bug = apps::BugCorpus()[GetParam()];
+  const std::string name = bug.app + "-" + bug.id;
+  SCOPED_TRACE(name);
+  const exp::RunSpec base = BugSpec(name);
+
+  Recorded rec = RecordRun(base);
+
+  exp::RunSpec replay_spec = base;
+  replay_spec.replay_schedule = rec.trace;
+  exp::BuiltRun replay = exp::BuildEngine(replay_spec);
+  const RunResult replay_result = replay.engine->Run(replay_spec.budget);
+  ASSERT_NO_THROW(replay.engine->schedule_controller()->VerifyFullyConsumed());
+
+  // The whole machine-readable record — outcome, RuntimeStats, histograms —
+  // must serialize byte-identically (modulo wall clock).
+  const exp::RunRecord recorded =
+      exp::MakeRecord(base, *rec.run.app, *rec.run.engine, rec.result);
+  const exp::RunRecord replayed =
+      exp::MakeRecord(base, *replay.app, *replay.engine, replay_result);
+  EXPECT_EQ(exp::ToJson(recorded, /*include_wall_clock=*/false),
+            exp::ToJson(replayed, /*include_wall_clock=*/false));
+  // And the full violation list, field by field.
+  EXPECT_EQ(ViolationStrings(*rec.run.engine), ViolationStrings(*replay.engine));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCorpusBugs, CorpusReplayTest,
+                         ::testing::Range<std::size_t>(0, apps::BugCorpus().size()));
+
+TEST(ReplayDivergenceTest, TamperedPickIsDetected) {
+  const exp::RunSpec base = BugSpec("NSS-329072", 5'000'000);
+  Recorded rec = RecordRun(base);
+
+  auto tampered = std::make_shared<ScheduleTrace>(*rec.trace);
+  bool flipped = false;
+  for (SchedDecision& d : tampered->decisions) {
+    if (d.kind == SchedDecisionKind::kPick && d.choices >= 2) {
+      d.value = (d.value + 1) % d.choices;
+      flipped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(flipped) << "recorded trace has no multi-way pick to tamper with";
+
+  exp::RunSpec spec = base;
+  spec.replay_schedule = tampered;
+  exp::BuiltRun replay = exp::BuildEngine(spec);
+  EXPECT_THROW(replay.engine->Run(spec.budget), ScheduleDivergenceError);
+}
+
+TEST(ReplayDivergenceTest, TruncatedTraceIsDetected) {
+  const exp::RunSpec base = BugSpec("NSS-329072", 5'000'000);
+  Recorded rec = RecordRun(base);
+  ASSERT_GT(rec.trace->decisions.size(), 4u);
+
+  auto truncated = std::make_shared<ScheduleTrace>(*rec.trace);
+  truncated->decisions.resize(truncated->decisions.size() / 2);
+
+  exp::RunSpec spec = base;
+  spec.replay_schedule = truncated;
+  exp::BuiltRun replay = exp::BuildEngine(spec);
+  EXPECT_THROW(replay.engine->Run(spec.budget), ScheduleDivergenceError);
+}
+
+TEST(ReplayDivergenceTest, ShortReplayFailsFullConsumptionCheck) {
+  const exp::RunSpec base = BugSpec("NSS-329072", 5'000'000);
+  Recorded rec = RecordRun(base);
+
+  exp::RunSpec spec = base;
+  spec.replay_schedule = rec.trace;
+  spec.budget = *base.budget / 2;  // stop well before the recording ends
+  exp::BuiltRun replay = exp::BuildEngine(spec);
+  replay.engine->Run(spec.budget);
+  EXPECT_THROW(replay.engine->schedule_controller()->VerifyFullyConsumed(),
+               ScheduleDivergenceError);
+}
+
+TEST(ReproArtifactTest, JsonRoundTrip) {
+  const exp::RunSpec base = BugSpec("NSS-329072", 5'000'000);
+  Recorded rec = RecordRun(base);
+  const exp::ReproArtifact artifact =
+      exp::MakeReproArtifact(base, *rec.trace, rec.run.engine->trace().violations());
+  ASSERT_TRUE(artifact.has_target);
+
+  const exp::ReproArtifact loaded = exp::ReproFromJson(exp::ToJson(artifact));
+  EXPECT_EQ(loaded.spec.bug, base.bug);
+  EXPECT_EQ(loaded.spec.machine.seed, base.machine.seed);
+  EXPECT_EQ(loaded.spec.machine.num_cores, base.machine.num_cores);
+  EXPECT_EQ(loaded.spec.mode, base.mode);
+  EXPECT_EQ(loaded.spec.pause_ms, base.pause_ms);
+  ASSERT_TRUE(loaded.spec.budget.has_value());
+  EXPECT_EQ(*loaded.spec.budget, *base.budget);
+  EXPECT_TRUE(loaded.has_target);
+  EXPECT_EQ(loaded.target.ar, artifact.target.ar);
+  EXPECT_EQ(loaded.target.pattern, artifact.target.pattern);
+  EXPECT_EQ(loaded.target.addr, artifact.target.addr);
+  EXPECT_EQ(loaded.violations, artifact.violations);
+  EXPECT_EQ(loaded.trace.seed, rec.trace->seed);
+  EXPECT_EQ(loaded.trace.shrunk, rec.trace->shrunk);
+  EXPECT_EQ(loaded.trace.decisions, rec.trace->decisions);
+  EXPECT_EQ(loaded.trace.checkpoints, rec.trace->checkpoints);
+}
+
+TEST(ReproArtifactTest, RejectsMalformedJson) {
+  EXPECT_THROW(exp::ReproFromJson("{"), std::runtime_error);
+  EXPECT_THROW(exp::ReproFromJson("{\"kind\":\"other\"}"), std::runtime_error);
+  EXPECT_THROW(exp::ReproFromJson("[1,2,3]"), std::runtime_error);
+}
+
+TEST(ShrinkTest, ShrinksNssBugToReproducingSubset) {
+  const exp::RunSpec base = BugSpec("NSS-329072", 5'000'000);
+  Recorded rec = RecordRun(base);
+  const exp::ReproArtifact artifact =
+      exp::MakeReproArtifact(base, *rec.trace, rec.run.engine->trace().violations());
+  ASSERT_TRUE(artifact.has_target) << "recording produced no violation to shrink against";
+
+  exp::ShrinkOptions options;
+  options.max_runs = 60;
+  const exp::ShrinkResult result = exp::ShrinkSchedule(artifact, options);
+  ASSERT_TRUE(result.reproduced);
+  EXPECT_LT(result.trace.decisions.size(), artifact.trace.decisions.size());
+  EXPECT_TRUE(result.trace.shrunk);
+
+  // Independently verify the minimized schedule still triggers the target
+  // violation under loose replay.
+  exp::RunSpec spec = base;
+  spec.replay_schedule = std::make_shared<const ScheduleTrace>(result.trace);
+  exp::BuiltRun replay = exp::BuildEngine(spec);
+  replay.engine->Run(spec.budget);
+  bool found = false;
+  for (const ViolationRecord& v : replay.engine->trace().violations()) {
+    found = found || exp::MatchesTarget(artifact.target, v);
+  }
+  EXPECT_TRUE(found) << "shrunk trace lost the target violation";
+}
+
+// A violation witnessed under the same AR id and pattern classifies as the
+// target; a different pattern or address does not.
+TEST(ShrinkTest, TargetMatchingIsByArPatternAndAddress) {
+  ViolationRecord v;
+  v.ar_id = 3;
+  v.addr = 4096;
+  v.size = 8;
+  v.first = AccessType::kRead;
+  v.remote = AccessType::kWrite;
+  v.second = AccessType::kRead;
+  exp::ReproTarget target;
+  target.ar = 3;
+  target.pattern = ViolationPattern(v);
+  target.addr = 4096;
+  target.size = 8;
+  EXPECT_TRUE(exp::MatchesTarget(target, v));
+  ViolationRecord other = v;
+  other.remote = AccessType::kRead;
+  EXPECT_FALSE(exp::MatchesTarget(target, other));
+  other = v;
+  other.addr = 4104;
+  EXPECT_FALSE(exp::MatchesTarget(target, other));
+  other = v;
+  other.ar_id = 4;
+  EXPECT_FALSE(exp::MatchesTarget(target, other));
+}
+
+}  // namespace
+}  // namespace kivati

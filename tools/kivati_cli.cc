@@ -10,13 +10,21 @@
 //                                   print the ranked report (--json for the
 //                                   machine-readable form; docs/analysis.md)
 //   kivati run FILE [options]       compile, run under Kivati, and report
-//                                   violations and statistics
+//   kivati run --bug NAME [options] violations and statistics; --bug runs a
+//                                   Table-6 corpus bug instead of a file
 //   kivati train FILE [options]     iterate runs, growing a whitelist from
 //                                   the benign violations found
 //   kivati sweep [FILE] [options]   run a grid of independent runs (apps ×
 //                                   presets × modes × seeds × machines) on a
 //                                   worker pool and emit a JSON report
 //                                   (docs/sweeping.md)
+//   kivati replay FILE [options]    re-run a recorded schedule (a repro
+//                                   artifact from --record-schedule) and
+//                                   verify the execution matches; exit 3 on
+//                                   divergence (docs/replay.md)
+//   kivati shrink FILE [options]    minimize a recorded schedule while it
+//                                   still reproduces its target violation
+//                                   (delta debugging; docs/replay.md)
 //
 // Options for run/train:
 //   --threads f[:arg][,f[:arg]...]  threads to start (default: main:0)
@@ -45,6 +53,21 @@
 //                                   anything else JSONL (docs/tracing.md)
 //   --trace-events k1,k2,...        event kinds to record (default: all)
 //   --trace-limit N                 event ring-buffer capacity (default 65536)
+//   --record-schedule FILE          (run) record every scheduling decision
+//                                   and save a repro artifact to FILE
+//
+// Options for replay:
+//   --json FILE                     write the replayed run as a JSON
+//                                   RunRecord; '-' writes to stdout
+//   --verbose                       print every violation record
+//
+// Options for shrink:
+//   --out FILE                      where to write the minimized artifact
+//                                   (default: INPUT with a .min.json suffix)
+//   --max-runs N                    candidate-run budget (default 300)
+//   --json FILE                     machine-readable shrink summary; '-'
+//                                   writes to stdout
+//   --verbose                       log every accepted reduction
 //
 // Options for analyze:
 //   --threads f[:arg][,...]         thread roots for the conflict analysis
@@ -68,6 +91,9 @@
 //   --json FILE                     write the sweep report ('-' = stdout)
 //   --app-workers N                 app thread-count scale (default 4)
 //   --app-iterations N              app iteration scale (default 250)
+//   --record-schedule FILE          re-run the sweep's first violating spec
+//                                   with recording on and save its repro
+//                                   artifact to FILE
 //
 // Every option may also be spelled --option=value. Numeric options are
 // parsed strictly: the whole value must be a number in the documented range.
@@ -84,9 +110,11 @@
 #include "core/engine.h"
 #include "core/trainer.h"
 #include "exp/optparse.h"
+#include "exp/repro.h"
 #include "exp/run_record.h"
 #include "exp/run_spec.h"
 #include "exp/runner.h"
+#include "exp/shrink.h"
 #include "exp/spec_grid.h"
 #include "hw/debug_registers.h"
 #include "isa/disasm.h"
@@ -121,6 +149,10 @@ struct CliOptions {
   std::string trace_out_path;
   std::string trace_events;
   std::size_t trace_limit = 65536;
+  std::string bug;                    // run --bug NAME (corpus bug workload)
+  std::string record_schedule_path;   // run/sweep --record-schedule FILE
+  std::string out_path;               // shrink --out FILE
+  std::size_t max_runs = 300;         // shrink candidate budget
 
   // Sweep grid dimensions.
   std::vector<std::string> apps;
@@ -250,10 +282,39 @@ exp::OptionTable RunTable(CliOptions& options) {
   exp::OptionTable table;
   AddConfigOptions(table, options);
   AddSingleRunOptions(table, options);
+  table.Value("--bug", "corpus bug to run (e.g. NSS-329072)", [&options](const std::string& value) {
+    if (exp::FindCorpusBug(value) == nullptr) {
+      std::string known;
+      for (const std::string& name : exp::CorpusBugNames()) {
+        known += (known.empty() ? "" : ", ") + name;
+      }
+      return "--bug: unknown bug '" + value + "' (known: " + known + ")";
+    }
+    options.bug = value;
+    return std::string();
+  });
+  table.String("--record-schedule", &options.record_schedule_path,
+               "record the schedule and save a repro artifact to FILE");
   table.String("--json", &options.json_path, "write the run as JSON ('-' = stdout)");
   table.String("--trace-out", &options.trace_out_path, "write the structured event trace");
   table.String("--trace-events", &options.trace_events, "event kinds to record");
   table.Size("--trace-limit", &options.trace_limit, "event ring-buffer capacity", 1);
+  return table;
+}
+
+exp::OptionTable ReplayTable(CliOptions& options) {
+  exp::OptionTable table;
+  table.String("--json", &options.json_path, "write the replayed run as JSON ('-' = stdout)");
+  table.Flag("--verbose", &options.verbose, "print every violation record");
+  return table;
+}
+
+exp::OptionTable ShrinkTable(CliOptions& options) {
+  exp::OptionTable table;
+  table.String("--out", &options.out_path, "where to write the minimized artifact");
+  table.Size("--max-runs", &options.max_runs, "candidate-run budget", 1);
+  table.String("--json", &options.json_path, "machine-readable shrink summary ('-' = stdout)");
+  table.Flag("--verbose", &options.verbose, "log every accepted reduction");
   return table;
 }
 
@@ -396,6 +457,8 @@ exp::OptionTable SweepTable(CliOptions& options) {
     return std::string();
   });
   table.String("--json", &options.json_path, "write the sweep report ('-' = stdout)");
+  table.String("--record-schedule", &options.record_schedule_path,
+               "save a repro artifact for the first violating spec");
   table.Int("--app-workers", &options.app_workers, "app thread-count scale", 1, 256);
   table.Int("--app-iterations", &options.app_iterations, "app iteration scale", 1, 100'000'000);
   return table;
@@ -404,21 +467,23 @@ exp::OptionTable SweepTable(CliOptions& options) {
 CliOptions ParseArgs(int argc, char** argv) {
   CliOptions options;
   if (argc < 2) {
-    Fail("usage: kivati annotate|analyze|run|train|sweep [FILE] [options] "
+    Fail("usage: kivati annotate|analyze|run|train|sweep|replay|shrink [FILE] [options] "
          "(see the header comment)");
   }
   options.command = argv[1];
   int first_option = 2;
-  const bool needs_file =
-      options.command == "annotate" || options.command == "run" || options.command == "train";
+  const bool needs_file = options.command == "annotate" || options.command == "train" ||
+                          options.command == "replay" || options.command == "shrink";
   if (needs_file) {
     if (argc < 3 || argv[2][0] == '-') {
       Fail("usage: kivati " + options.command + " FILE [options]");
     }
     options.file = argv[2];
     first_option = 3;
-  } else if (options.command == "sweep" || options.command == "analyze") {
-    // Both take an optional source FILE; --apps / --app is the alternative.
+  } else if (options.command == "sweep" || options.command == "analyze" ||
+             options.command == "run") {
+    // These take an optional source FILE; --apps / --app / --bug is the
+    // alternative workload source.
     if (argc >= 3 && argv[2][0] != '-') {
       options.file = argv[2];
       first_option = 3;
@@ -436,12 +501,24 @@ CliOptions ParseArgs(int argc, char** argv) {
     table = TrainTable(options);
   } else if (options.command == "sweep") {
     table = SweepTable(options);
+  } else if (options.command == "replay") {
+    table = ReplayTable(options);
+  } else if (options.command == "shrink") {
+    table = ShrinkTable(options);
   } else {
     Fail("unknown command '" + options.command + "'");
   }
   const std::string error = table.Parse(argc, argv, first_option);
   if (!error.empty()) {
     Fail(error);
+  }
+  if (options.command == "run") {
+    if (options.file.empty() && options.bug.empty()) {
+      Fail("usage: kivati run FILE [options] | kivati run --bug NAME [options]");
+    }
+    if (!options.file.empty() && !options.bug.empty()) {
+      Fail("run takes either a source FILE or --bug, not both");
+    }
   }
   // analyze without --threads keeps its sound every-function-concurrent
   // fallback instead of the single-run main:0 default.
@@ -454,8 +531,12 @@ CliOptions ParseArgs(int argc, char** argv) {
 // The RunSpec implied by the single-run (run/train) options.
 exp::RunSpec SpecFromOptions(const CliOptions& options) {
   exp::RunSpec spec;
-  spec.source_path = options.file;
-  spec.threads = options.threads;
+  if (!options.bug.empty()) {
+    spec.bug = options.bug;
+  } else {
+    spec.source_path = options.file;
+    spec.threads = options.threads;
+  }
   spec.scale.annotator = options.annotator;
   spec.scale.prune = !options.no_prune;
   spec.machine.num_cores = options.cores;
@@ -597,8 +678,49 @@ void WriteJsonOutput(const std::string& path, const std::string& json) {
   }
 }
 
+// Human report + optional JSON RunRecord, shared by run and replay.
+// `schedule_note` tags recorded/replayed runs in the stats summary.
+int ReportRun(const CliOptions& options, const exp::RunSpec& spec, exp::BuiltRun& built,
+              const RunResult& result, double wall_ms, const std::string& schedule_note) {
+  Engine& engine = *built.engine;
+  // Keep stdout pure JSON under `--json -`: the human report moves to stderr.
+  FILE* human = options.json_path == "-" ? stderr : stdout;
+  std::fprintf(human, "run: %llu cycles, %llu instructions, %s\n",
+               static_cast<unsigned long long>(result.cycles),
+               static_cast<unsigned long long>(result.instructions),
+               result.all_done      ? "completed"
+               : result.deadlocked  ? "DEADLOCKED"
+                                    : "hit cycle budget");
+  if (!spec.vanilla) {
+    const double seconds = engine.machine().costs().ToSeconds(result.cycles);
+    std::fprintf(human, "%s",
+                 FormatStatsSummary(engine.trace().stats(), seconds, schedule_note).c_str());
+    const std::shared_ptr<const CompiledProgram> compiled = built.app->compiled;
+    const ArSymbolizer symbolizer = [compiled](ArId ar) -> std::string {
+      if (compiled == nullptr || ar == kInvalidAr || ar == 0 || ar > compiled->ar_infos.size()) {
+        return {};
+      }
+      const ArDebugInfo& info = compiled->ar_infos[ar - 1];
+      return info.variable + " in " + info.function + "()";
+    };
+    std::fprintf(human, "%s", FormatViolationReport(engine.trace(), symbolizer).c_str());
+    if (options.verbose) {
+      for (const ViolationRecord& v : engine.trace().violations()) {
+        std::fprintf(human, "  %s\n", ToString(v).c_str());
+      }
+    }
+  }
+  if (!options.json_path.empty()) {
+    exp::RunRecord record = exp::MakeRecord(spec, *built.app, engine, result);
+    record.wall_ms = wall_ms;
+    WriteJsonOutput(options.json_path, exp::ToJson(record) + "\n");
+  }
+  return result.deadlocked ? 1 : 0;
+}
+
 int Run(const CliOptions& options) {
-  const exp::RunSpec spec = SpecFromOptions(options);
+  exp::RunSpec spec = SpecFromOptions(options);
+  spec.record_schedule = !options.record_schedule_path.empty();
   exp::BuiltRun built = exp::BuildEngine(spec);
   Engine& engine = *built.engine;
   if (!options.trace_out_path.empty()) {
@@ -633,38 +755,99 @@ int Run(const CliOptions& options) {
                  static_cast<unsigned long long>(events.dropped()));
   }
 
-  // Keep stdout pure JSON under `--json -`: the human report moves to stderr.
-  FILE* human = options.json_path == "-" ? stderr : stdout;
-  std::fprintf(human, "run: %llu cycles, %llu instructions, %s\n",
-               static_cast<unsigned long long>(result.cycles),
-               static_cast<unsigned long long>(result.instructions),
-               result.all_done      ? "completed"
-               : result.deadlocked  ? "DEADLOCKED"
-                                    : "hit cycle budget");
-  const CompiledProgram& compiled = *built.app->compiled;
-  if (!options.vanilla) {
-    const double seconds = engine.machine().costs().ToSeconds(result.cycles);
-    std::fprintf(human, "%s", FormatStatsSummary(engine.trace().stats(), seconds).c_str());
-    const ArSymbolizer symbolizer = [&compiled](ArId ar) -> std::string {
-      if (ar == kInvalidAr || ar == 0 || ar > compiled.ar_infos.size()) {
-        return {};
-      }
-      const ArDebugInfo& info = compiled.ar_infos[ar - 1];
-      return info.variable + " in " + info.function + "()";
-    };
-    std::fprintf(human, "%s", FormatViolationReport(engine.trace(), symbolizer).c_str());
-    if (options.verbose) {
-      for (const ViolationRecord& v : engine.trace().violations()) {
-        std::fprintf(human, "  %s\n", ToString(v).c_str());
-      }
+  std::string schedule_note;
+  if (spec.record_schedule) {
+    const ScheduleTrace& trace = *engine.recorded_schedule();
+    exp::SaveRepro(exp::MakeReproArtifact(spec, trace, engine.trace().violations()),
+                   options.record_schedule_path);
+    schedule_note = "recorded " + std::to_string(trace.decisions.size()) +
+                    " decision(s) to " + options.record_schedule_path;
+  }
+  return ReportRun(options, spec, built, result, wall_ms, schedule_note);
+}
+
+int Replay(const CliOptions& options) {
+  const exp::ReproArtifact artifact = exp::LoadRepro(options.file);
+  exp::RunSpec spec = artifact.spec;
+  auto trace = std::make_shared<const ScheduleTrace>(artifact.trace);
+  spec.replay_schedule = trace;
+  const bool strict = !trace->shrunk;  // BuildEngine downgrades shrunk traces
+  try {
+    exp::BuiltRun built = exp::BuildEngine(spec);
+    const auto start = std::chrono::steady_clock::now();
+    const RunResult result = built.engine->Run(spec.budget);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (strict) {
+      // A replayed run that ends with recorded decisions unconsumed stopped
+      // short of the recording — that is a divergence too.
+      built.engine->schedule_controller()->VerifyFullyConsumed();
     }
+    const std::string note = std::string("replayed from ") + options.file + " (" +
+                             (strict ? "strict" : "loose/shrunk") + ", " +
+                             std::to_string(trace->decisions.size()) + " decision(s))";
+    return ReportRun(options, spec, built, result, wall_ms, note);
+  } catch (const ScheduleDivergenceError& e) {
+    std::fprintf(stderr, "kivati: replay of '%s' diverged: %s\n", options.file.c_str(),
+                 e.what());
+    return 3;
+  }
+}
+
+int Shrink(const CliOptions& options) {
+  const exp::ReproArtifact artifact = exp::LoadRepro(options.file);
+  exp::ShrinkOptions shrink_options;
+  shrink_options.max_runs = options.max_runs;
+  if (options.verbose) {
+    shrink_options.progress = [](const std::string& line) {
+      std::fprintf(stderr, "shrink: %s\n", line.c_str());
+    };
+  }
+  const exp::ShrinkResult result = exp::ShrinkSchedule(artifact, shrink_options);
+
+  std::string out_path = options.out_path;
+  if (out_path.empty()) {
+    // trace.json -> trace.min.json; anything else gets .min.json appended.
+    out_path = options.file;
+    const std::string suffix = ".json";
+    if (out_path.size() > suffix.size() &&
+        out_path.compare(out_path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      out_path.resize(out_path.size() - suffix.size());
+    }
+    out_path += ".min.json";
+  }
+  if (result.reproduced) {
+    exp::ReproArtifact shrunk = artifact;
+    shrunk.trace = result.trace;
+    exp::SaveRepro(shrunk, out_path);
+  }
+
+  FILE* human = options.json_path == "-" ? stderr : stdout;
+  if (result.reproduced) {
+    std::fprintf(human, "shrink: %zu -> %zu decision(s) in %zu run(s)%s; saved to %s\n",
+                 result.original_decisions, result.trace.decisions.size(), result.runs,
+                 result.budget_exhausted ? " (run budget exhausted)" : "", out_path.c_str());
+  } else {
+    std::fprintf(human,
+                 "shrink: the recorded trace does not reproduce the target violation "
+                 "under loose replay; nothing written\n");
   }
   if (!options.json_path.empty()) {
-    exp::RunRecord record = exp::MakeRecord(spec, *built.app, engine, result);
-    record.wall_ms = wall_ms;
-    WriteJsonOutput(options.json_path, exp::ToJson(record) + "\n");
+    std::string json = "{\"kind\":\"kivati_shrink\",\"schema_version\":1,";
+    json += "\"input\":\"" + EscapeJson(options.file) + "\",";
+    json += "\"reproduced\":" + std::string(result.reproduced ? "true" : "false") + ",";
+    json += "\"original_decisions\":" + std::to_string(result.original_decisions) + ",";
+    json += "\"decisions\":" + std::to_string(result.trace.decisions.size()) + ",";
+    json += "\"runs\":" + std::to_string(result.runs) + ",";
+    json += "\"budget_exhausted\":" + std::string(result.budget_exhausted ? "true" : "false");
+    if (result.reproduced) {
+      json += ",\"out\":\"" + EscapeJson(out_path) + "\"";
+    }
+    json += "}\n";
+    WriteJsonOutput(options.json_path, json);
   }
-  return result.deadlocked ? 1 : 0;
+  return result.reproduced ? 0 : 1;
 }
 
 int TrainCommand(const CliOptions& options) {
@@ -758,6 +941,32 @@ int Sweep(const CliOptions& options) {
   std::fprintf(options.json_path == "-" ? stderr : stdout,
                "sweep: %zu run(s) on %u worker(s) in %.0f ms (%zu error(s))\n", records.size(),
                runner.workers(), wall_ms, errors);
+  if (!options.record_schedule_path.empty()) {
+    // Re-run the first violating spec (in spec order) with recording on —
+    // runs are deterministic, so the re-run reproduces the sweep's result —
+    // and save its schedule as a repro artifact.
+    bool recorded = false;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (!records[i].error.empty() || records[i].violations == 0) {
+        continue;
+      }
+      exp::RunSpec spec = specs[i];
+      spec.record_schedule = true;
+      exp::BuiltRun rerun = exp::BuildEngine(spec);
+      rerun.engine->Run(spec.budget);
+      exp::SaveRepro(exp::MakeReproArtifact(spec, *rerun.engine->recorded_schedule(),
+                                            rerun.engine->trace().violations()),
+                     options.record_schedule_path);
+      std::fprintf(stderr, "record-schedule: %s (%zu violation(s)) -> %s\n",
+                   records[i].label.c_str(), records[i].violations,
+                   options.record_schedule_path.c_str());
+      recorded = true;
+      break;
+    }
+    if (!recorded) {
+      std::fprintf(stderr, "record-schedule: no violating run in this sweep; nothing saved\n");
+    }
+  }
   if (!options.json_path.empty()) {
     WriteJsonOutput(options.json_path,
                     exp::SweepReportJson(records, runner.workers(), wall_ms));
@@ -785,6 +994,12 @@ int Main(int argc, char** argv) {
     }
     if (options.command == "sweep") {
       return Sweep(options);
+    }
+    if (options.command == "replay") {
+      return Replay(options);
+    }
+    if (options.command == "shrink") {
+      return Shrink(options);
     }
   } catch (const std::exception& e) {
     Fail(e.what());
