@@ -1,0 +1,53 @@
+// Interpreter throughput microbenchmark: simulated cycles per wall-clock
+// second for the hot loop, per app × configuration, with the optimized and
+// reference interpreter side by side (docs/performance.md).
+//
+// The committed baseline lives in BENCH_interp.json (regenerate with
+// `kivati bench-interp --json BENCH_interp.json` from a Release build); the
+// CI perf-smoke job fails on a >30% regression against it.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "exp/interp_bench.h"
+
+namespace kivati {
+namespace bench {
+namespace {
+
+void Run() {
+  std::printf("=== Interpreter throughput (best of 3, simulated Mcycles/s) ===\n\n");
+  exp::InterpBenchSpec spec;
+  spec.apps = {"nss", "vlc"};
+  spec.configs = {"vanilla", "base", "optimized"};
+
+  TablePrinter table({"Run", "Loop", "Cycles", "Wall (ms)", "Mcycles/s", "MIPS"});
+  const auto entries = exp::RunInterpBench(spec);
+  for (const exp::InterpBenchEntry& e : entries) {
+    table.AddRow({e.label, e.fast_loop ? "fast" : "reference", std::to_string(e.cycles),
+                  Num(e.best_wall_ms, 1), Num(e.mcycles_per_sec, 2), Num(e.mips, 2)});
+  }
+  table.Print();
+
+  // Fast-vs-reference speedup per cell.
+  std::printf("\nSpeedup (fast / reference):\n");
+  for (std::size_t i = 0; i + 1 < entries.size(); i += 2) {
+    const exp::InterpBenchEntry& fast = entries[i];
+    const exp::InterpBenchEntry& ref = entries[i + 1];
+    if (!fast.fast_loop || ref.fast_loop || ref.mcycles_per_sec <= 0.0) {
+      continue;
+    }
+    std::printf("  %-40s %.2fx\n", fast.label.c_str(),
+                fast.mcycles_per_sec / ref.mcycles_per_sec);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace kivati
+
+int main() {
+  kivati::bench::Run();
+  return 0;
+}

@@ -32,6 +32,15 @@ using CoreId = std::uint32_t;
 // Globally unique atomic-region identifier assigned by the static annotator.
 using ArId = std::uint32_t;
 
+// Elapsed virtual time from `start` to `now`, clamped at zero. The global
+// clock observed through Machine::now() is the *executing core's* clock and
+// is not monotonic across context switches between cores, so a naive
+// `now - start` underflows (wraps to ~2^64) when the event started on a
+// core that ran ahead. Durations recorded into histograms must clamp.
+constexpr Cycles ClampedElapsed(Cycles now, Cycles start) {
+  return now >= start ? now - start : 0;
+}
+
 inline constexpr ThreadId kInvalidThread = std::numeric_limits<ThreadId>::max();
 inline constexpr ArId kInvalidAr = std::numeric_limits<ArId>::max();
 inline constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();

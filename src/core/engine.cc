@@ -2,9 +2,11 @@
 
 namespace kivati {
 
-Engine::Engine(const Workload& workload, EngineOptions options)
+Engine::Engine(const Workload& workload, EngineOptions options,
+               std::shared_ptr<const ProgramImage> image)
     : default_max_(workload.default_max_cycles),
-      machine_(workload.program, options.machine) {
+      machine_(image != nullptr ? std::move(image) : MakeProgramImage(workload.program),
+               options.machine) {
   if (options.kivati.has_value()) {
     KivatiConfig config = *options.kivati;
     if (options.whitelist_sync_vars) {

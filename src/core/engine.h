@@ -33,7 +33,13 @@ struct EngineOptions {
 
 class Engine {
  public:
-  Engine(const Workload& workload, EngineOptions options);
+  // `image` optionally shares a prebuilt ProgramImage for workload.program
+  // (it must have been built from that same program); null builds a private
+  // one. Harnesses running the same workload many times — sweep grids, the
+  // shrinker's ddmin candidates — pass a shared image to skip the per-run
+  // program copy and rollback-table derivation (docs/performance.md).
+  Engine(const Workload& workload, EngineOptions options,
+         std::shared_ptr<const ProgramImage> image = nullptr);
 
   // Runs until the workload completes or `max_cycles` (defaulting to the
   // workload's budget) elapses.

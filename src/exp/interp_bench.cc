@@ -1,0 +1,132 @@
+#include "exp/interp_bench.h"
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+
+#include "exp/run_record.h"
+#include "exp/spec_grid.h"
+
+namespace kivati {
+namespace exp {
+namespace {
+
+RunSpec CellSpec(const InterpBenchSpec& bench, const std::string& config) {
+  RunSpec spec;
+  spec.scale = bench.scale;
+  spec.machine.seed = bench.seed;
+  spec.machine.num_cores = bench.cores;
+  spec.machine.watchpoints_per_core = bench.watchpoints;
+  spec.budget = bench.max_cycles;
+  spec.mode = KivatiMode::kPrevention;
+  if (config == "vanilla") {
+    spec.vanilla = true;
+  } else if (!ParsePreset(config, &spec.preset)) {
+    throw std::runtime_error("unknown bench config '" + config +
+                             "' (vanilla, base, null, syncvars, optimized)");
+  }
+  return spec;
+}
+
+// One timed cell: `repeats` identical runs, best wall time wins.
+InterpBenchEntry Measure(const RunSpec& cell, const std::shared_ptr<const apps::App>& app,
+                         const std::shared_ptr<const ProgramImage>& image, unsigned repeats,
+                         bool fast_loop) {
+  InterpBenchEntry entry;
+  entry.fast_loop = fast_loop;
+  RunSpec spec = cell;
+  spec.machine.fast_loop = fast_loop;
+  spec.prebuilt = app;
+  spec.image = image;
+  entry.label = SpecLabel(spec);
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    BuiltRun run = BuildEngine(spec, app);
+    const auto start = std::chrono::steady_clock::now();
+    const RunResult result = run.engine->Run(spec.budget.value_or(
+        app->workload.default_max_cycles));
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (rep == 0) {
+      entry.cycles = result.cycles;
+      entry.instructions = result.instructions;
+      entry.best_wall_ms = wall_ms;
+    } else {
+      if (result.cycles != entry.cycles || result.instructions != entry.instructions) {
+        throw std::runtime_error("nondeterministic bench cell " + entry.label);
+      }
+      entry.best_wall_ms = std::min(entry.best_wall_ms, wall_ms);
+    }
+  }
+  const double seconds = entry.best_wall_ms / 1000.0;
+  if (seconds > 0.0) {
+    entry.mcycles_per_sec = static_cast<double>(entry.cycles) / seconds / 1e6;
+    entry.mips = static_cast<double>(entry.instructions) / seconds / 1e6;
+  }
+  return entry;
+}
+
+}  // namespace
+
+std::vector<InterpBenchEntry> RunInterpBench(
+    const InterpBenchSpec& bench,
+    const std::function<void(const InterpBenchEntry&)>& progress) {
+  if (bench.apps.empty() || bench.configs.empty()) {
+    throw std::runtime_error("bench-interp needs at least one app and one config");
+  }
+  if (bench.repeats == 0) {
+    throw std::runtime_error("bench-interp needs --repeats >= 1");
+  }
+  std::vector<InterpBenchEntry> entries;
+  for (const std::string& app_name : bench.apps) {
+    const auto app = MakeRegisteredApp(app_name, bench.scale);
+    const auto image = MakeProgramImage(app->workload.program);
+    for (const std::string& config : bench.configs) {
+      const RunSpec cell = CellSpec(bench, config);
+      InterpBenchEntry fast;
+      if (bench.include_fast) {
+        fast = Measure(cell, app, image, bench.repeats, /*fast_loop=*/true);
+        entries.push_back(fast);
+        if (progress) {
+          progress(entries.back());
+        }
+      }
+      if (bench.include_reference) {
+        InterpBenchEntry ref = Measure(cell, app, image, bench.repeats, /*fast_loop=*/false);
+        // The optimized loop must simulate the identical run; a divergence
+        // here is a correctness bug, not a perf result.
+        if (bench.include_fast &&
+            (ref.cycles != fast.cycles || ref.instructions != fast.instructions)) {
+          throw std::runtime_error("fast/reference divergence in bench cell " + ref.label);
+        }
+        entries.push_back(std::move(ref));
+        if (progress) {
+          progress(entries.back());
+        }
+      }
+    }
+  }
+  return entries;
+}
+
+std::string InterpBenchJson(const std::vector<InterpBenchEntry>& entries) {
+  std::string out = "{\"kind\":\"kivati_interp_bench\",\"schema_version\":1,\"entries\":[";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const InterpBenchEntry& e = entries[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"label\":\"%s\",\"fast_loop\":%s,\"cycles\":%llu,"
+                  "\"instructions\":%llu,\"best_wall_ms\":%.3f,"
+                  "\"mcycles_per_sec\":%.3f,\"mips\":%.3f}",
+                  i == 0 ? "" : ",", e.label.c_str(), e.fast_loop ? "true" : "false",
+                  static_cast<unsigned long long>(e.cycles),
+                  static_cast<unsigned long long>(e.instructions), e.best_wall_ms,
+                  e.mcycles_per_sec, e.mips);
+    out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace exp
+}  // namespace kivati

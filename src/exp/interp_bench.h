@@ -1,0 +1,68 @@
+// Interpreter throughput benchmark: simulated cycles per wall-clock second.
+//
+// Measures the hot-loop rework of docs/performance.md the way the committed
+// baseline (BENCH_interp.json, CI's perf-smoke job) consumes it: for each
+// app × config cell, run the identical deterministic workload `repeats`
+// times and report the best wall time, converted to simulated Mcycles/s and
+// MIPS. Each cell is also measured with the reference loop
+// (MachineConfig::fast_loop = false) so the speedup is visible in one
+// report. The simulated outcome (cycles, instructions) is determinism-
+// checked across repeats and loop flavors — a throughput number from a
+// diverging run would be meaningless.
+#ifndef KIVATI_EXP_INTERP_BENCH_H_
+#define KIVATI_EXP_INTERP_BENCH_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/run_spec.h"
+
+namespace kivati {
+namespace exp {
+
+struct InterpBenchSpec {
+  // Registered application names ("nss", "vlc", ...).
+  std::vector<std::string> apps;
+  // Configurations: "vanilla" or a preset name ("base", "null", "syncvars",
+  // "optimized"); non-vanilla cells run in prevention mode.
+  std::vector<std::string> configs;
+  // Wall-time repeats per cell; the fastest is reported.
+  unsigned repeats = 3;
+  std::uint64_t seed = 1;
+  unsigned cores = 2;
+  unsigned watchpoints = kDefaultWatchpointCount;
+  // Absent -> the workload's default budget.
+  std::optional<Cycles> max_cycles;
+  apps::LoadScale scale;
+  // Also measure each cell with the reference loop (fast_loop=false).
+  bool include_reference = true;
+  // Skip the fast-loop entries (reference only; used by --reference).
+  bool include_fast = true;
+};
+
+struct InterpBenchEntry {
+  std::string label;  // "nss/base/prevention/c2w4/s1"
+  bool fast_loop = true;
+  Cycles cycles = 0;
+  std::uint64_t instructions = 0;
+  double best_wall_ms = 0.0;
+  double mcycles_per_sec = 0.0;
+  double mips = 0.0;
+};
+
+// Runs the grid; throws std::runtime_error on unknown apps/configs or if a
+// cell's simulated outcome differs across repeats or loop flavors.
+// `progress` (may be null) receives one line per finished entry.
+std::vector<InterpBenchEntry> RunInterpBench(
+    const InterpBenchSpec& spec,
+    const std::function<void(const InterpBenchEntry&)>& progress = nullptr);
+
+// {"kind":"kivati_interp_bench","schema_version":1,"entries":[...]}.
+std::string InterpBenchJson(const std::vector<InterpBenchEntry>& entries);
+
+}  // namespace exp
+}  // namespace kivati
+
+#endif  // KIVATI_EXP_INTERP_BENCH_H_

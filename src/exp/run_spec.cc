@@ -197,7 +197,7 @@ BuiltRun BuildEngine(const RunSpec& spec, std::shared_ptr<const apps::App> app) 
   BuiltRun run;
   run.app = std::move(app);
   run.options = MakeEngineOptions(spec);
-  run.engine = std::make_unique<Engine>(run.app->workload, run.options);
+  run.engine = std::make_unique<Engine>(run.app->workload, run.options, spec.image);
   if (spec.record_schedule) {
     run.engine->RecordSchedule();
   } else if (spec.replay_schedule != nullptr) {

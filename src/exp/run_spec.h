@@ -37,6 +37,13 @@ struct RunSpec {
   std::string bug;          // corpus bug, "APP-ID" (e.g. "NSS-329072")
   std::shared_ptr<const apps::App> prebuilt;
 
+  // Optional prebuilt ProgramImage for the resolved workload's program.
+  // Harnesses that run one workload many times (sweeps, the shrinker) set
+  // this so every Engine shares the image instead of re-copying the program
+  // and re-deriving its rollback table per run (docs/performance.md). Must
+  // match the resolved workload; leave null otherwise.
+  std::shared_ptr<const ProgramImage> image;
+
   // Threads to start for source_path workloads: (function, r0 argument).
   // Registered apps and prebuilt workloads bring their own thread list.
   std::vector<std::pair<std::string, std::uint64_t>> threads;

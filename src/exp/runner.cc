@@ -122,19 +122,29 @@ ExperimentRunner::ExperimentRunner(RunnerOptions options) : options_(std::move(o
 
 std::vector<RunRecord> ExperimentRunner::RunAll(const std::vector<RunSpec>& specs) {
   // Resolve each unique registered app once; every spec that names it shares
-  // the immutable compiled App (Engine copies the program, init only reads).
-  // Source-file and prebuilt specs pass through untouched.
+  // the immutable compiled App and its ProgramImage (program + rollback
+  // table), so engines across the sweep skip the per-run program copy and
+  // rollback derivation. Source-file and prebuilt specs pass through
+  // untouched.
+  struct CachedApp {
+    std::shared_ptr<const apps::App> app;
+    std::shared_ptr<const ProgramImage> image;
+  };
   std::vector<RunSpec> resolved = specs;
-  std::map<AppKey, std::shared_ptr<const apps::App>> cache;
+  std::map<AppKey, CachedApp> cache;
   for (RunSpec& spec : resolved) {
     if (spec.app.empty() || spec.prebuilt != nullptr) {
       continue;
     }
     auto [it, inserted] = cache.try_emplace(KeyFor(spec));
     if (inserted) {
-      it->second = MakeRegisteredApp(spec.app, spec.scale);
+      it->second.app = MakeRegisteredApp(spec.app, spec.scale);
+      it->second.image = MakeProgramImage(it->second.app->workload.program);
     }
-    spec.prebuilt = it->second;
+    spec.prebuilt = it->second.app;
+    if (spec.image == nullptr) {
+      spec.image = it->second.image;
+    }
     spec.app.clear();
   }
 

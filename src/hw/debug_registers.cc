@@ -1,5 +1,6 @@
 #include "hw/debug_registers.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace kivati {
@@ -14,12 +15,14 @@ void DebugRegisterFile::Set(unsigned slot, Addr addr, unsigned size, WatchType w
   assert(watch != WatchType::kNone);
   regs_[slot] = WatchpointConfig{true, addr, size, watch};
   ++generation_;
+  RecomputeSummary();
 }
 
 void DebugRegisterFile::Clear(unsigned slot) {
   assert(slot < regs_.size());
   regs_[slot] = WatchpointConfig{};
   ++generation_;
+  RecomputeSummary();
 }
 
 void DebugRegisterFile::ClearAll() {
@@ -27,10 +30,25 @@ void DebugRegisterFile::ClearAll() {
     reg = WatchpointConfig{};
   }
   ++generation_;
+  RecomputeSummary();
 }
 
-std::optional<unsigned> DebugRegisterFile::Match(Addr addr, unsigned size,
-                                                 AccessType type) const {
+void DebugRegisterFile::RecomputeSummary() {
+  armed_count_ = 0;
+  armed_min_addr_ = ~Addr{0};
+  armed_max_end_ = 0;
+  for (const WatchpointConfig& reg : regs_) {
+    if (!reg.enabled) {
+      continue;
+    }
+    ++armed_count_;
+    armed_min_addr_ = std::min(armed_min_addr_, reg.addr);
+    armed_max_end_ = std::max(armed_max_end_, reg.addr + reg.size);
+  }
+}
+
+std::optional<unsigned> DebugRegisterFile::MatchSlots(Addr addr, unsigned size,
+                                                      AccessType type) const {
   for (unsigned slot = 0; slot < regs_.size(); ++slot) {
     const WatchpointConfig& reg = regs_[slot];
     if (!reg.enabled || !Matches(reg.watch, type)) {
@@ -50,6 +68,9 @@ void DebugRegisterFile::CopyFrom(const DebugRegisterFile& other) {
   assert(regs_.size() == other.regs_.size());
   regs_ = other.regs_;
   generation_ = other.generation_;
+  armed_count_ = other.armed_count_;
+  armed_min_addr_ = other.armed_min_addr_;
+  armed_max_end_ = other.armed_max_end_;
 }
 
 }  // namespace kivati

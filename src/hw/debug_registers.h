@@ -52,8 +52,30 @@ class DebugRegisterFile {
   void ClearAll();
 
   // Returns the lowest-numbered enabled slot whose watched range overlaps
-  // [addr, addr+size) and whose trap condition matches `type`.
-  std::optional<unsigned> Match(Addr addr, unsigned size, AccessType type) const;
+  // [addr, addr+size) and whose trap condition matches `type`. Inline so the
+  // no-overlap rejection (the per-access common case in the interpreter)
+  // costs one hull test and no function call.
+  std::optional<unsigned> Match(Addr addr, unsigned size, AccessType type) const {
+    if (!MayMatch(addr, size)) {
+      return std::nullopt;
+    }
+    return MatchSlots(addr, size, type);
+  }
+
+  // --- Armed summary (interpreter fast filter, docs/performance.md) --------
+  // The simulator executes millions of accesses against at most `count()`
+  // armed slots; these O(1) tests let it skip the per-access Match scan and
+  // the old-value capture when no armed watchpoint can possibly overlap.
+
+  // True if any slot is enabled.
+  bool any_armed() const { return armed_count_ != 0; }
+
+  // Conservative overlap test: false only when NO enabled slot can match an
+  // access of [addr, addr+size) of any type. A superset of Match: whenever
+  // Match returns a slot, MayMatch is true (hw_test checks the property).
+  bool MayMatch(Addr addr, unsigned size) const {
+    return armed_count_ != 0 && addr < armed_max_end_ && armed_min_addr_ < addr + size;
+  }
 
   // Copies the full register image from `other` (the cross-core sync step).
   void CopyFrom(const DebugRegisterFile& other);
@@ -64,8 +86,16 @@ class DebugRegisterFile {
   std::uint64_t generation() const { return generation_; }
 
  private:
+  std::optional<unsigned> MatchSlots(Addr addr, unsigned size, AccessType type) const;
+  void RecomputeSummary();
+
   std::vector<WatchpointConfig> regs_;
   std::uint64_t generation_ = 0;
+  // Summary of the enabled slots: count plus the covered address hull
+  // [armed_min_addr_, armed_max_end_). Maintained on every mutation.
+  unsigned armed_count_ = 0;
+  Addr armed_min_addr_ = 0;
+  Addr armed_max_end_ = 0;
 };
 
 }  // namespace kivati

@@ -1,39 +1,29 @@
 #include "isa/program.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace kivati {
 
-std::optional<std::size_t> Program::IndexOfPc(ProgramCounter pc) const {
-  auto it = by_pc_.find(pc);
-  if (it == by_pc_.end()) {
-    return std::nullopt;
-  }
-  return it->second;
-}
-
 const FunctionInfo* Program::FindFunction(const std::string& name) const {
-  for (const auto& f : functions_) {
-    if (f.name == name) {
-      return &f;
-    }
-  }
-  return nullptr;
+  const auto it = function_by_name_.find(name);
+  return it == function_by_name_.end() ? nullptr : &functions_[it->second];
 }
 
 const FunctionInfo* Program::FunctionAt(ProgramCounter pc) const {
-  for (const auto& f : functions_) {
-    if (f.first_index >= f.end_index) {
-      continue;
-    }
-    const ProgramCounter begin = pcs_[f.first_index];
-    const ProgramCounter end = f.end_index < pcs_.size() ? pcs_[f.end_index] : text_end_;
-    if (pc >= begin && pc < end) {
-      return &f;
-    }
+  // Binary search over the non-empty functions, sorted by entry PC (bodies
+  // are emitted sequentially, so ranges are disjoint): find the last
+  // function starting at or before `pc`, then check its end.
+  const auto it = std::upper_bound(
+      functions_by_pc_.begin(), functions_by_pc_.end(), pc,
+      [this](ProgramCounter p, std::size_t fi) { return p < pcs_[functions_[fi].first_index]; });
+  if (it == functions_by_pc_.begin()) {
+    return nullptr;
   }
-  return nullptr;
+  const FunctionInfo& f = functions_[*(it - 1)];
+  const ProgramCounter end = f.end_index < pcs_.size() ? pcs_[f.end_index] : text_end_;
+  return pc < end ? &f : nullptr;
 }
 
 ProgramBuilder::ProgramBuilder() = default;
@@ -98,13 +88,24 @@ Program ProgramBuilder::Build() {
   Program program;
   program.instrs_ = std::move(instrs_);
   program.pcs_.resize(program.instrs_.size());
+  program.lengths_.resize(program.instrs_.size());
   ProgramCounter pc = 0;
   for (std::size_t i = 0; i < program.instrs_.size(); ++i) {
+    const unsigned length = EncodedLength(program.instrs_[i]);
+    assert(length >= 1 && length <= 255);
     program.pcs_[i] = pc;
-    program.by_pc_.emplace(pc, i);
-    pc += EncodedLength(program.instrs_[i]);
+    program.lengths_[i] = static_cast<std::uint8_t>(length);
+    pc += length;
   }
   program.text_end_ = pc;
+  // Dense PC -> index table for O(1) dispatch. Instruction counts stay far
+  // below 2^32 - 1 (text bytes are the bound), so index + 1 fits 32 bits.
+  assert(program.instrs_.size() < 0xFFFFFFFFu);
+  program.pc_slot_.assign(static_cast<std::size_t>(program.text_end_), 0);
+  for (std::size_t i = 0; i < program.instrs_.size(); ++i) {
+    program.pc_slot_[static_cast<std::size_t>(program.pcs_[i])] =
+        static_cast<std::uint32_t>(i + 1);
+  }
 
   for (const auto& pending : pending_) {
     const std::int64_t index = label_to_index_[pending.label];
@@ -123,9 +124,19 @@ Program ProgramBuilder::Build() {
   }
 
   program.functions_ = std::move(functions_);
-  for (auto& f : program.functions_) {
+  for (std::size_t i = 0; i < program.functions_.size(); ++i) {
+    FunctionInfo& f = program.functions_[i];
     f.entry = program.pcs_[f.first_index];
+    program.function_by_name_.emplace(f.name, i);
+    if (f.first_index < f.end_index) {
+      program.functions_by_pc_.push_back(i);
+    }
   }
+  std::sort(program.functions_by_pc_.begin(), program.functions_by_pc_.end(),
+            [&program](std::size_t a, std::size_t b) {
+              return program.pcs_[program.functions_[a].first_index] <
+                     program.pcs_[program.functions_[b].first_index];
+            });
   return program;
 }
 

@@ -30,8 +30,24 @@ class Program {
   const Instruction& At(std::size_t index) const { return instrs_[index]; }
   ProgramCounter PcOf(std::size_t index) const { return pcs_[index]; }
 
-  // Index of the instruction whose first byte is at `pc`, if any.
-  std::optional<std::size_t> IndexOfPc(ProgramCounter pc) const;
+  // Index of the instruction whose first byte is at `pc`, if any. O(1): a
+  // dense PC-indexed table (the text segment is small and contiguous), built
+  // once at Build() time. This sits on the interpreter's per-instruction
+  // dispatch path (docs/performance.md).
+  std::optional<std::size_t> IndexOfPc(ProgramCounter pc) const {
+    if (pc >= pc_slot_.size()) {
+      return std::nullopt;
+    }
+    const std::uint32_t slot = pc_slot_[static_cast<std::size_t>(pc)];
+    if (slot == 0) {
+      return std::nullopt;
+    }
+    return slot - 1;
+  }
+
+  // Encoded length of instruction `index`, cached at Build() time (equals
+  // EncodedLength(At(index)); see isa_test).
+  unsigned LengthAt(std::size_t index) const { return lengths_[index]; }
 
   // One past the last instruction byte.
   ProgramCounter text_end() const { return text_end_; }
@@ -46,8 +62,16 @@ class Program {
 
   std::vector<Instruction> instrs_;
   std::vector<ProgramCounter> pcs_;
-  std::unordered_map<ProgramCounter, std::size_t> by_pc_;
+  // pc -> instruction index + 1; 0 marks mid-instruction bytes. Sized
+  // text_end_ (one entry per text byte).
+  std::vector<std::uint32_t> pc_slot_;
+  std::vector<std::uint8_t> lengths_;  // EncodedLength per instruction
   std::vector<FunctionInfo> functions_;
+  // Function lookups: by name (names are unique — Bind rejects redefinition)
+  // and by entry PC (non-empty functions, sorted; bodies are emitted
+  // sequentially so their PC ranges are disjoint).
+  std::unordered_map<std::string, std::size_t> function_by_name_;
+  std::vector<std::size_t> functions_by_pc_;
   ProgramCounter text_end_ = 0;
 };
 

@@ -154,7 +154,7 @@ void KivatiKernel::CheckSyncWaiters() {
         }
       }
       machine_.UnblockSyncThread(it->tid);
-      const Cycles stalled = machine_.now() - it->blocked_at;
+      const Cycles stalled = ClampedElapsed(machine_.now(), it->blocked_at);
       stats().sync_stall.Record(stalled);
       if (events().Wants(EventKind::kSyncStall)) {
         events().Emit({.when = machine_.now(),
@@ -480,7 +480,7 @@ PathTaken KivatiKernel::EndAtomicImpl(ThreadId tid, ArId ar_id, AccessType secon
 
   WatchpointMeta& wp = wps_[slot];
   const ArInstance ar = wp.ars[index];
-  stats().ar_duration.Record(machine_.now() - ar.begin_at);
+  stats().ar_duration.Record(ClampedElapsed(machine_.now(), ar.begin_at));
   if (!from_clear) {
     EvaluateViolations(wp, ar, second, machine_.current_instruction_pc());
   }
@@ -876,7 +876,7 @@ void KivatiKernel::WakeAllSuspended(WatchpointMeta& wp) {
     }
   }
   for (const SuspendedThread& s : wp.suspended) {
-    const Cycles latency = machine_.now() - s.since;
+    const Cycles latency = ClampedElapsed(machine_.now(), s.since);
     stats().suspension_latency.Record(latency);
     if (events().Wants(EventKind::kWake)) {
       events().Emit({.when = machine_.now(),

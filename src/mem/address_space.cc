@@ -31,9 +31,19 @@ const std::uint8_t* AddressSpace::ChunkForRead(Addr addr) const {
   return chunk.data();
 }
 
-std::uint64_t AddressSpace::Read(Addr addr, unsigned size) const {
+std::uint64_t AddressSpace::ReadSlow(Addr addr, unsigned size) const {
   assert(size == 1 || size == 2 || size == 4 || size == 8);
+  const Addr offset = addr & (kChunkSize - 1);
   std::uint64_t value = 0;
+  if (offset + size <= kChunkSize) {
+    // Single chunk, but not yet materialized (the inline fast path handles
+    // the materialized case): resolve the chunk once instead of per byte.
+    const std::uint8_t* chunk = ChunkForRead(addr);
+    for (unsigned i = 0; i < size; ++i) {
+      value |= static_cast<std::uint64_t>(chunk[offset + i]) << (8 * i);
+    }
+    return value;
+  }
   // Accesses may straddle a chunk boundary; go byte-by-byte, which is cheap
   // at the simulator's scale and always correct.
   for (unsigned i = 0; i < size; ++i) {
@@ -44,8 +54,16 @@ std::uint64_t AddressSpace::Read(Addr addr, unsigned size) const {
   return value;
 }
 
-void AddressSpace::Write(Addr addr, unsigned size, std::uint64_t value) {
+void AddressSpace::WriteSlow(Addr addr, unsigned size, std::uint64_t value) {
   assert(size == 1 || size == 2 || size == 4 || size == 8);
+  const Addr offset = addr & (kChunkSize - 1);
+  if (offset + size <= kChunkSize) {
+    std::uint8_t* chunk = ChunkFor(addr);
+    for (unsigned i = 0; i < size; ++i) {
+      chunk[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+    return;
+  }
   for (unsigned i = 0; i < size; ++i) {
     const Addr a = addr + i;
     ChunkFor(a)[a & (kChunkSize - 1)] = static_cast<std::uint8_t>(value >> (8 * i));

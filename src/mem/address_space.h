@@ -32,10 +32,42 @@ class AddressSpace {
   AddressSpace();
 
   // Reads `size` bytes (1, 2, 4 or 8) at `addr`, zero-extended to 64 bits.
-  std::uint64_t Read(Addr addr, unsigned size) const;
+  // The already-materialized single-chunk case — the overwhelmingly common
+  // one on the interpreter's per-access path — is inline; first-touch
+  // materialization and chunk-straddling accesses take the out-of-line
+  // slow path.
+  std::uint64_t Read(Addr addr, unsigned size) const {
+    const Addr index = addr >> kChunkBits;
+    const Addr offset = addr & (kChunkSize - 1);
+    if (index < chunks_.size() && offset + size <= kChunkSize) {
+      const auto& chunk = chunks_[index];
+      if (!chunk.empty()) {
+        std::uint64_t value = 0;
+        // Little-endian byte assembly; compiles to a single load.
+        for (unsigned i = 0; i < size; ++i) {
+          value |= static_cast<std::uint64_t>(chunk[offset + i]) << (8 * i);
+        }
+        return value;
+      }
+    }
+    return ReadSlow(addr, size);
+  }
 
   // Writes the low `size` bytes of `value` at `addr`.
-  void Write(Addr addr, unsigned size, std::uint64_t value);
+  void Write(Addr addr, unsigned size, std::uint64_t value) {
+    const Addr index = addr >> kChunkBits;
+    const Addr offset = addr & (kChunkSize - 1);
+    if (index < chunks_.size() && offset + size <= kChunkSize) {
+      auto& chunk = chunks_[index];
+      if (!chunk.empty()) {
+        for (unsigned i = 0; i < size; ++i) {
+          chunk[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        }
+        return;
+      }
+    }
+    WriteSlow(addr, size, value);
+  }
 
   // Bump-allocates `bytes` in the data segment, aligned to `align` (a power
   // of two). Returns the base address of the allocation.
@@ -56,6 +88,9 @@ class AddressSpace {
   // Sparse backing store: fixed-size chunks materialized on first touch.
   static constexpr Addr kChunkBits = 16;
   static constexpr Addr kChunkSize = Addr{1} << kChunkBits;
+
+  std::uint64_t ReadSlow(Addr addr, unsigned size) const;
+  void WriteSlow(Addr addr, unsigned size, std::uint64_t value);
 
   std::uint8_t* ChunkFor(Addr addr);
   const std::uint8_t* ChunkForRead(Addr addr) const;

@@ -19,11 +19,15 @@ const char* ToString(ThreadState state) {
   return "?";
 }
 
+std::shared_ptr<const ProgramImage> MakeProgramImage(Program program) {
+  return std::make_shared<const ProgramImage>(std::move(program));
+}
+
 Machine::Machine(Program program, MachineConfig config)
-    : program_(std::move(program)),
-      rollback_(program_),
-      config_(config),
-      rng_(config.seed) {
+    : Machine(MakeProgramImage(std::move(program)), config) {}
+
+Machine::Machine(std::shared_ptr<const ProgramImage> image, MachineConfig config)
+    : image_(std::move(image)), config_(config), rng_(config.seed) {
   cores_.reserve(config_.num_cores);
   for (unsigned i = 0; i < config_.num_cores; ++i) {
     cores_.emplace_back(config_.watchpoints_per_core);
@@ -41,12 +45,13 @@ ThreadId Machine::SpawnThread(ProgramCounter entry, std::uint64_t arg) {
   t->regs[0] = arg;
   threads_.push_back(std::move(t));
   queued_.push_back(false);
+  ++live_count_;
   MakeRunnable(tid);
   return tid;
 }
 
 ThreadId Machine::SpawnThreadByName(const std::string& function, std::uint64_t arg) {
-  const FunctionInfo* info = program_.FindFunction(function);
+  const FunctionInfo* info = image_->program.FindFunction(function);
   assert(info != nullptr && "SpawnThreadByName: unknown function");
   return SpawnThread(info->entry, arg);
 }
@@ -61,12 +66,35 @@ std::size_t Machine::live_threads() const {
   return live;
 }
 
+void Machine::EnterTimedWait(Cycles wake_at) {
+  ++timed_waiters_;
+  if (earliest_valid_ && wake_at < earliest_deadline_) {
+    earliest_deadline_ = wake_at;
+  }
+}
+
+void Machine::LeaveTimedWait(Cycles wake_at) {
+  assert(timed_waiters_ > 0);
+  --timed_waiters_;
+  if (timed_waiters_ == 0) {
+    earliest_deadline_ = ~Cycles{0};
+    earliest_valid_ = true;
+  } else if (earliest_valid_ && wake_at <= earliest_deadline_) {
+    // The cached minimum (or a tie of it) left; rescan lazily.
+    earliest_valid_ = false;
+  }
+}
+
 void Machine::SuspendThread(ThreadId tid, std::optional<Cycles> timeout_at) {
   ThreadContext& t = thread(tid);
+  if (IsTimedWait(t)) {
+    LeaveTimedWait(t.wake_at);
+  }
   t.state = ThreadState::kSuspended;
   t.has_deadline = timeout_at.has_value();
   if (timeout_at.has_value()) {
     t.wake_at = *timeout_at;
+    EnterTimedWait(t.wake_at);
   }
 }
 
@@ -78,8 +106,12 @@ void Machine::ResumeThread(ThreadId tid) {
 }
 
 void Machine::BlockThreadForSync(ThreadId tid) {
-  thread(tid).state = ThreadState::kBlockedSync;
-  thread(tid).has_deadline = false;
+  ThreadContext& t = thread(tid);
+  if (IsTimedWait(t)) {
+    LeaveTimedWait(t.wake_at);
+  }
+  t.state = ThreadState::kBlockedSync;
+  t.has_deadline = false;
 }
 
 void Machine::UnblockSyncThread(ThreadId tid) {
@@ -90,9 +122,13 @@ void Machine::UnblockSyncThread(ThreadId tid) {
 
 void Machine::SleepThread(ThreadId tid, Cycles duration) {
   ThreadContext& t = thread(tid);
+  if (IsTimedWait(t)) {
+    LeaveTimedWait(t.wake_at);
+  }
   t.state = ThreadState::kSleeping;
   t.wake_at = now_ + duration;
   t.has_deadline = true;
+  EnterTimedWait(t.wake_at);
 }
 
 void Machine::CancelSleep(ThreadId tid) {
@@ -103,6 +139,9 @@ void Machine::CancelSleep(ThreadId tid) {
 
 void Machine::MakeRunnable(ThreadId tid) {
   ThreadContext& t = thread(tid);
+  if (IsTimedWait(t)) {
+    LeaveTimedWait(t.wake_at);
+  }
   t.state = ThreadState::kRunnable;
   t.has_deadline = false;
   if (!queued_[tid] && !t.on_core) {
@@ -163,20 +202,56 @@ void Machine::WakeExpiredTimers() {
   }
 }
 
-Cycles Machine::EarliestDeadline() const {
+Cycles Machine::EarliestDeadlineSlow() const {
+  if (!config_.fast_loop) {
+    // Reference loop: always scan (the cache is still maintained, but the
+    // reference path must not depend on it).
+    Cycles earliest = ~Cycles{0};
+    for (const auto& tp : threads_) {
+      if (IsTimedWait(*tp)) {
+        earliest = std::min(earliest, tp->wake_at);
+      }
+    }
+    return earliest;
+  }
   Cycles earliest = ~Cycles{0};
   for (const auto& tp : threads_) {
-    const ThreadContext& t = *tp;
-    const bool timed = t.state == ThreadState::kSleeping ||
-                       (t.state == ThreadState::kSuspended && t.has_deadline);
-    if (timed) {
-      earliest = std::min(earliest, t.wake_at);
+    if (IsTimedWait(*tp)) {
+      earliest = std::min(earliest, tp->wake_at);
     }
   }
-  return earliest;
+  earliest_deadline_ = earliest;
+  earliest_valid_ = true;
+  return earliest_deadline_;
 }
 
 bool Machine::AnyDeadline() const { return EarliestDeadline() != ~Cycles{0}; }
+
+CoreId Machine::RescanMinCore() {
+  CoreId min = 0;
+  for (CoreId i = 1; i < cores_.size(); ++i) {
+    if (cores_[i].clock < cores_[min].clock) {
+      min = i;
+    }
+  }
+  if (cores_.size() > 1) {
+    CoreId second = min == 0 ? 1 : 0;
+    for (CoreId i = 0; i < cores_.size(); ++i) {
+      if (i == min || i == second) {
+        continue;
+      }
+      const Core& a = cores_[i];
+      const Core& b = cores_[second];
+      if (a.clock < b.clock || (a.clock == b.clock && i < second)) {
+        second = i;
+      }
+    }
+    second_core_ = second;
+  }
+  min_core_ = min;
+  min_core_valid_ = true;
+  return min_core_;
+}
 
 void Machine::Reschedule(CoreId core, bool timer_interrupt) {
   Core& c = cores_[core];
@@ -224,16 +299,23 @@ void Machine::Reschedule(CoreId core, bool timer_interrupt) {
 
 RunResult Machine::Run(Cycles max_cycles) {
   RunResult result;
+  const bool fast = config_.fast_loop;
   while (true) {
-    if (live_threads() == 0) {
+    const bool all_done = fast ? live_count_ == 0 : live_threads() == 0;
+    if (all_done) {
       result.all_done = true;
       break;
     }
     // Pick the core with the smallest clock (ties by core id).
-    CoreId core = 0;
-    for (CoreId i = 1; i < cores_.size(); ++i) {
-      if (cores_[i].clock < cores_[core].clock) {
-        core = i;
+    CoreId core;
+    if (fast) {
+      core = MinClockCore();
+    } else {
+      core = 0;
+      for (CoreId i = 1; i < cores_.size(); ++i) {
+        if (cores_[i].clock < cores_[core].clock) {
+          core = i;
+        }
       }
     }
     Core& c = cores_[core];
@@ -242,7 +324,11 @@ RunResult Machine::Run(Cycles max_cycles) {
       break;
     }
     now_ = c.clock;
-    WakeExpiredTimers();
+    // The scan in WakeExpiredTimers wakes nothing unless a deadline has
+    // expired; the cached earliest deadline makes that check O(1).
+    if (!fast || EarliestDeadline() <= now_) {
+      WakeExpiredTimers();
+    }
 
     const bool need_resched = c.current == kInvalidThread ||
                               thread(c.current).state != ThreadState::kRunnable ||
@@ -264,6 +350,9 @@ RunResult Machine::Run(Cycles max_cycles) {
         hooks_->OnKernelEntry(core);
         Reschedule(core, /*timer_interrupt=*/false);
         if (c.current != kInvalidThread) {
+          if (fast) {
+            FixMinCoreAfterAdvance(core);
+          }
           continue;
         }
       }
@@ -285,9 +374,15 @@ RunResult Machine::Run(Cycles max_cycles) {
         next_time = c.clock + 1;
       }
       c.clock = std::max(c.clock + 1, next_time);
+      if (fast) {
+        FixMinCoreAfterAdvance(core);
+      }
       continue;
     }
     ExecuteOne(core);
+    if (fast) {
+      FixMinCoreAfterAdvance(core);
+    }
   }
   Cycles end = 0;
   for (const auto& c : cores_) {
@@ -303,9 +398,13 @@ RunResult Machine::Run(Cycles max_cycles) {
 }
 
 void Machine::CollectAccesses(const ThreadContext& t, const Instruction& instr,
-                              std::vector<MemAccess>& out) const {
+                              std::vector<MemAccess>& out,
+                              const DebugRegisterFile* filter) const {
   out.clear();
-  // old_value is captured for every access after the switch below.
+  // old_value is captured after the switch below — for every access, or
+  // (fast loop) only for accesses an armed watchpoint could match. Old
+  // values are consumed solely when the kernel undoes the *trapped* access,
+  // so skipping the capture for accesses that cannot trap is exact.
   switch (instr.op) {
     case Opcode::kLoad:
       out.push_back({EffectiveAddress(t, instr.mem), instr.size, AccessType::kRead});
@@ -361,12 +460,14 @@ void Machine::CollectAccesses(const ThreadContext& t, const Instruction& instr,
       break;
   }
   for (MemAccess& access : out) {
-    access.old_value = memory_.Read(access.addr, access.size);
+    if (filter == nullptr || filter->MayMatch(access.addr, access.size)) {
+      access.old_value = memory_.Read(access.addr, access.size);
+    }
   }
 }
 
 void Machine::ApplySemantics(CoreId core, ThreadContext& t, const Instruction& instr,
-                             unsigned length) {
+                             unsigned length, const MemAccess* accesses) {
   const ProgramCounter next_pc = t.pc + length;
   switch (instr.op) {
     case Opcode::kNop:
@@ -383,22 +484,29 @@ void Machine::ApplySemantics(CoreId core, ThreadContext& t, const Instruction& i
       WriteReg(t, instr.rd, ReadReg(t, instr.rs1));
       t.pc = next_pc;
       break;
-    case Opcode::kLoad:
-      WriteReg(t, instr.rd, memory_.Read(EffectiveAddress(t, instr.mem), instr.size));
+    case Opcode::kLoad: {
+      // When `accesses` is given, reuse the effective address computed by
+      // CollectAccesses (hooks cannot alter registers in between).
+      const Addr ea = accesses != nullptr ? accesses[0].addr : EffectiveAddress(t, instr.mem);
+      WriteReg(t, instr.rd, memory_.Read(ea, instr.size));
       t.pc = next_pc;
       break;
-    case Opcode::kStore:
-      memory_.Write(EffectiveAddress(t, instr.mem), instr.size, ReadReg(t, instr.rs1));
+    }
+    case Opcode::kStore: {
+      const Addr ea = accesses != nullptr ? accesses[0].addr : EffectiveAddress(t, instr.mem);
+      memory_.Write(ea, instr.size, ReadReg(t, instr.rs1));
       t.pc = next_pc;
       break;
+    }
     case Opcode::kMovM: {
-      const std::uint64_t value = memory_.Read(EffectiveAddress(t, instr.mem2), instr.size);
-      memory_.Write(EffectiveAddress(t, instr.mem), instr.size, value);
+      const Addr src = accesses != nullptr ? accesses[0].addr : EffectiveAddress(t, instr.mem2);
+      const Addr dst = accesses != nullptr ? accesses[1].addr : EffectiveAddress(t, instr.mem);
+      memory_.Write(dst, instr.size, memory_.Read(src, instr.size));
       t.pc = next_pc;
       break;
     }
     case Opcode::kXchg: {
-      const Addr ea = EffectiveAddress(t, instr.mem);
+      const Addr ea = accesses != nullptr ? accesses[0].addr : EffectiveAddress(t, instr.mem);
       const std::uint64_t old = memory_.Read(ea, instr.size);
       memory_.Write(ea, instr.size, ReadReg(t, instr.rs1));
       WriteReg(t, instr.rd, old);
@@ -477,7 +585,8 @@ void Machine::ApplySemantics(CoreId core, ThreadContext& t, const Instruction& i
       ++t.call_depth;
       break;
     case Opcode::kCallInd: {
-      const ProgramCounter target = memory_.Read(EffectiveAddress(t, instr.mem), 8);
+      const Addr ea = accesses != nullptr ? accesses[0].addr : EffectiveAddress(t, instr.mem);
+      const ProgramCounter target = memory_.Read(ea, 8);
       t.sp -= 8;
       memory_.Write(t.sp, 8, next_pc);
       t.pc = target;
@@ -497,7 +606,8 @@ void Machine::ApplySemantics(CoreId core, ThreadContext& t, const Instruction& i
       t.pc = next_pc;
       break;
     case Opcode::kPushM: {
-      const std::uint64_t value = memory_.Read(EffectiveAddress(t, instr.mem), instr.size);
+      const Addr ea = accesses != nullptr ? accesses[0].addr : EffectiveAddress(t, instr.mem);
+      const std::uint64_t value = memory_.Read(ea, instr.size);
       t.sp -= 8;
       memory_.Write(t.sp, 8, value);
       t.pc = next_pc;
@@ -571,9 +681,7 @@ void Machine::DoSyscall(CoreId core, ThreadContext& t, const Instruction& instr)
       break;
     case Syscall::kSleep:
     case Syscall::kIo:
-      t.state = ThreadState::kSleeping;
-      t.wake_at = now_ + t.regs[0];
-      t.has_deadline = true;
+      SleepThread(t.tid, t.regs[0]);
       break;
     case Syscall::kMark:
       trace_.AddMark(MarkEvent{now_, t.tid, static_cast<std::int64_t>(t.regs[0]), t.regs[1]});
@@ -586,6 +694,11 @@ void Machine::DoSyscall(CoreId core, ThreadContext& t, const Instruction& instr)
 
 void Machine::ExitThread(ThreadId tid, std::uint64_t status) {
   ThreadContext& t = thread(tid);
+  if (IsTimedWait(t)) {
+    LeaveTimedWait(t.wake_at);
+  }
+  assert(live_count_ > 0);
+  --live_count_;
   t.state = ThreadState::kDone;
   t.exit_status = status;
   if (hooks_ != nullptr) {
@@ -608,19 +721,37 @@ void Machine::ExecuteOne(CoreId core) {
     ExitThread(t.tid, t.regs[0]);
     return;
   }
-  const auto index = program_.IndexOfPc(t.pc);
+  const Program& program = image_->program;
+  const auto index = program.IndexOfPc(t.pc);
   if (!index.has_value()) {
     KIVATI_LOG(kError) << "thread " << t.tid << " jumped to invalid pc 0x" << std::hex << t.pc;
     ExitThread(t.tid, ~std::uint64_t{0});
     return;
   }
-  const Instruction& instr = program_.At(*index);
-  const unsigned length = EncodedLength(instr);
+  const Instruction& instr = program.At(*index);
+  const unsigned length = program.LengthAt(*index);
   current_instruction_pc_ = t.pc;
   pending_extra_ = 0;
   Cycles cost = config_.costs.user_instruction;
 
-  CollectAccesses(t, instr, access_scratch_);
+  bool collected = true;
+  if (!config_.fast_loop) {
+    CollectAccesses(t, instr, access_scratch_);
+  } else {
+    // Fast loop: when no armed watchpoint exists on this core and address
+    // tracing is off, nobody observes the access list — skip building it
+    // (and the old-value memory reads) entirely. With watchpoints armed,
+    // collect but let MayMatch skip old-value capture for accesses outside
+    // the armed range hull.
+    const bool tracing = config_.trace_addr != kInvalidAddr;
+    const bool armed = hooks_ != nullptr && c.debug_regs.any_armed();
+    if (tracing || armed) {
+      CollectAccesses(t, instr, access_scratch_, tracing ? nullptr : &c.debug_regs);
+    } else {
+      access_scratch_.clear();
+      collected = false;
+    }
+  }
 
   bool cancelled = false;
   if (config_.trap_delivery == TrapDelivery::kBefore && hooks_ != nullptr) {
@@ -645,7 +776,10 @@ void Machine::ExecuteOne(CoreId core) {
         }
       }
     }
-    ApplySemantics(core, t, instr, length);
+    const MemAccess* eas =
+        config_.fast_loop && collected && !access_scratch_.empty() ? access_scratch_.data()
+                                                                   : nullptr;
+    ApplySemantics(core, t, instr, length, eas);
     if (traced_write_pending_) {
       traced_write_pending_ = false;
       KIVATI_LOG(kDebug) << "write: t" << t.tid << " pc=0x" << std::hex

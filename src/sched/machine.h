@@ -58,7 +58,27 @@ struct MachineConfig {
   // Debug aid: every committed write overlapping this address is logged at
   // debug level with thread, PC and value.
   Addr trace_addr = kInvalidAddr;
+  // Use the optimized interpreter loop (armed-watchpoint access filtering,
+  // cached scheduler bookkeeping, effective-address reuse). Turning it off
+  // selects the straightforward reference loop, which must produce
+  // byte-identical runs — the determinism guardrail of docs/performance.md
+  // (`kivati run --no-fast-loop`, fast_loop_test).
+  bool fast_loop = true;
 };
+
+// The immutable per-program state a Machine executes: the program plus its
+// derived rollback table. Building a RollbackTable scans the whole program,
+// so harnesses that construct many engines for one workload (the shrinker's
+// ddmin candidates, sweep grids) share one image instead of re-deriving it
+// per run (docs/performance.md).
+struct ProgramImage {
+  Program program;
+  RollbackTable rollback;
+
+  explicit ProgramImage(Program p) : program(std::move(p)), rollback(program) {}
+};
+
+std::shared_ptr<const ProgramImage> MakeProgramImage(Program program);
 
 struct RunResult {
   Cycles cycles = 0;               // virtual time when the run ended
@@ -70,7 +90,10 @@ struct RunResult {
 
 class Machine {
  public:
+  // Convenience: wraps `program` in a private ProgramImage.
   Machine(Program program, MachineConfig config);
+  // Shares an immutable image across machines (see ProgramImage).
+  Machine(std::shared_ptr<const ProgramImage> image, MachineConfig config);
 
   // Installs the Kivati runtime (may be null for vanilla runs). Must be
   // called before Run.
@@ -100,8 +123,8 @@ class Machine {
   // --- State access (used by the Kivati kernel & runtime, and by tests) ----
 
   AddressSpace& memory() { return memory_; }
-  const Program& program() const { return program_; }
-  const RollbackTable& rollback_table() const { return rollback_; }
+  const Program& program() const { return image_->program; }
+  const RollbackTable& rollback_table() const { return image_->rollback; }
   Trace& trace() { return trace_; }
   const CostModel& costs() const { return config_.costs; }
   const MachineConfig& config() const { return config_; }
@@ -161,8 +184,60 @@ class Machine {
   ThreadId PopRunnable();
 
   void WakeExpiredTimers();
-  Cycles EarliestDeadline() const;
+  // Inline cached-hit path: the per-iteration expiry check must not cost a
+  // function call. The slow path rescans (and always scans when the
+  // reference loop is active, which must not depend on the cache).
+  Cycles EarliestDeadline() const {
+    if (config_.fast_loop && earliest_valid_) {
+      return earliest_deadline_;
+    }
+    return EarliestDeadlineSlow();
+  }
+  Cycles EarliestDeadlineSlow() const;
   bool AnyDeadline() const;
+
+  // --- Timed-wait bookkeeping (fast loop, docs/performance.md) -------------
+  // `timed_waiters_` counts threads in a timed wait (sleeping, or suspended
+  // with a deadline); `earliest_deadline_` caches their minimum wake time so
+  // the hot loop's expiry check is O(1) in the no-expiry common case. The
+  // cache is exact while `earliest_valid_`; removing the cached minimum
+  // invalidates it and the next EarliestDeadline() rescans. Every state
+  // transition in or out of a timed wait must go through these helpers.
+  static bool IsTimedWait(const ThreadContext& t) {
+    return t.state == ThreadState::kSleeping ||
+           (t.state == ThreadState::kSuspended && t.has_deadline);
+  }
+  void EnterTimedWait(Cycles wake_at);
+  void LeaveTimedWait(Cycles wake_at);
+
+  // The core with the smallest clock (ties by lowest id), tracked
+  // incrementally: only the picked core's clock advances within a loop
+  // iteration, so FixMinCoreAfterAdvance repairs the cached pick against the
+  // cached runner-up instead of rescanning every core. Both run once per
+  // loop iteration — the cached-hit paths are inline.
+  CoreId MinClockCore() {
+    if (min_core_valid_) {
+      return min_core_;
+    }
+    return RescanMinCore();
+  }
+  CoreId RescanMinCore();
+  void FixMinCoreAfterAdvance(CoreId core) {
+    if (cores_.size() < 2 || !min_core_valid_ || core != min_core_) {
+      return;
+    }
+    const Core& a = cores_[core];
+    const Core& b = cores_[second_core_];
+    if (a.clock < b.clock || (a.clock == b.clock && core < second_core_)) {
+      return;  // still the lexicographic (clock, id) minimum
+    }
+    min_core_ = second_core_;
+    if (cores_.size() == 2) {
+      second_core_ = core;  // with two cores the other one is always runner-up
+    } else {
+      min_core_valid_ = false;  // the true runner-up is unknown; rescan lazily
+    }
+  }
 
   // Assigns a thread to `core`, firing context-switch hooks.
   void Reschedule(CoreId core, bool timer_interrupt);
@@ -171,11 +246,19 @@ class Machine {
   void ExecuteOne(CoreId core);
 
   // Applies the semantics of `instr` for thread `t`. Returns the accesses
-  // performed (in program order) for watchpoint checking.
+  // performed (in program order) for watchpoint checking. `filter` (fast
+  // loop only) skips the old-value capture for accesses no armed watchpoint
+  // can match — old values are only ever consumed for the trapped access.
   void CollectAccesses(const ThreadContext& t, const Instruction& instr,
-                       std::vector<MemAccess>& out) const;
+                       std::vector<MemAccess>& out,
+                       const DebugRegisterFile* filter = nullptr) const;
+  // `accesses` (fast loop only) points at the instruction's collected
+  // accesses so memory operands reuse the effective addresses computed by
+  // CollectAccesses; null recomputes them (reference loop, or nothing was
+  // collected). Hooks cannot change registers between collection and here,
+  // so reuse is exact.
   void ApplySemantics(CoreId core, ThreadContext& t, const Instruction& instr,
-                      unsigned length);
+                      unsigned length, const MemAccess* accesses);
 
   void DoSyscall(CoreId core, ThreadContext& t, const Instruction& instr);
   void ExitThread(ThreadId tid, std::uint64_t status);
@@ -185,8 +268,7 @@ class Machine {
     return base + static_cast<std::uint64_t>(mem.offset);
   }
 
-  Program program_;
-  RollbackTable rollback_;
+  std::shared_ptr<const ProgramImage> image_;
   MachineConfig config_;
   AddressSpace memory_;
   Trace trace_;
@@ -209,6 +291,15 @@ class Machine {
 
   // Scratch reused across ExecuteOne calls.
   std::vector<MemAccess> access_scratch_;
+
+  // --- Fast-loop caches (exact; see docs/performance.md) -------------------
+  std::size_t live_count_ = 0;       // threads not yet kDone
+  std::size_t timed_waiters_ = 0;    // threads in a timed wait
+  mutable Cycles earliest_deadline_ = ~Cycles{0};
+  mutable bool earliest_valid_ = true;
+  CoreId min_core_ = 0;              // cached min-clock core...
+  CoreId second_core_ = 0;           // ...and its runner-up
+  bool min_core_valid_ = false;
 };
 
 }  // namespace kivati

@@ -127,6 +127,18 @@ TEST(SerializabilityTest, Figure6WatchTypes) {
   EXPECT_EQ(RemoteWatchFor(W, W), WatchType::kRead);
 }
 
+// The clock observed through Machine::now() is per-core and not monotonic
+// across context switches; durations must clamp instead of wrapping to
+// ~2^64 (the histogram-corruption bug fixed alongside docs/performance.md).
+TEST(ClampedElapsedTest, ClampsNonMonotonicSamples) {
+  EXPECT_EQ(ClampedElapsed(100, 40), 60u);
+  EXPECT_EQ(ClampedElapsed(40, 40), 0u);
+  // The event started on a core that ran ahead: now < start.
+  EXPECT_EQ(ClampedElapsed(40, 100), 0u);
+  EXPECT_EQ(ClampedElapsed(0, ~Cycles{0}), 0u);
+  EXPECT_EQ(ClampedElapsed(~Cycles{0}, 0), ~Cycles{0});
+}
+
 // Every watch type derived from Figure 6 must trap exactly the remote
 // accesses that can complete a non-serializable interleaving.
 TEST(SerializabilityTest, WatchCoversAllViolations) {

@@ -1,0 +1,69 @@
+// Determinism guardrail for the optimized interpreter loop.
+//
+// MachineConfig::fast_loop (on by default) routes Machine::Run through the
+// predecoded dispatch, watchpoint fast filter and scheduler caches described
+// in docs/performance.md; turning it off falls back to the original
+// reference scans. The two paths must simulate the *identical* run: every
+// corpus bug and a scaled NSS/VLC sweep is executed under both loops and
+// compared byte-for-byte — the full RunRecord JSON (modulo wall clock) and
+// the recorded schedule trace.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "exp/run_record.h"
+#include "exp/run_spec.h"
+#include "exp/runner.h"
+
+namespace kivati {
+namespace exp {
+namespace {
+
+void ExpectFastMatchesReference(RunSpec spec) {
+  spec.record_schedule = true;
+  spec.machine.fast_loop = true;
+  const RunRecord fast = Execute(spec);
+  spec.machine.fast_loop = false;
+  const RunRecord reference = Execute(spec);
+  ASSERT_TRUE(fast.error.empty()) << fast.label << ": " << fast.error;
+  ASSERT_TRUE(reference.error.empty()) << reference.label << ": " << reference.error;
+  EXPECT_EQ(ToJson(fast, /*include_wall_clock=*/false),
+            ToJson(reference, /*include_wall_clock=*/false))
+      << fast.label;
+  ASSERT_NE(fast.schedule, nullptr);
+  ASSERT_NE(reference.schedule, nullptr);
+  EXPECT_EQ(fast.schedule->seed, reference.schedule->seed) << fast.label;
+  EXPECT_EQ(fast.schedule->decisions, reference.schedule->decisions) << fast.label;
+  EXPECT_EQ(fast.schedule->checkpoints, reference.schedule->checkpoints) << fast.label;
+}
+
+TEST(FastLoopTest, CorpusBugsMatchReference) {
+  for (const std::string& bug : CorpusBugNames()) {
+    RunSpec spec;
+    spec.bug = bug;
+    // Reduced budget, as in replay_test: the default 300M-cycle budget is
+    // for bug-manifestation sweeps; divergence would show within a few
+    // million cycles.
+    spec.budget = 10'000'000;
+    ExpectFastMatchesReference(spec);
+  }
+}
+
+TEST(FastLoopTest, ScaledAppSweepsMatchReference) {
+  for (const char* app : {"nss", "vlc"}) {
+    for (const auto preset :
+         {OptimizationPreset::kBase, OptimizationPreset::kOptimized}) {
+      RunSpec spec;
+      spec.app = app;
+      spec.preset = preset;
+      spec.scale.workers = 2;
+      spec.scale.iterations = 40;
+      spec.machine.seed = 3;
+      ExpectFastMatchesReference(spec);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace kivati

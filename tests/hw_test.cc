@@ -61,6 +61,68 @@ TEST(DebugRegistersTest, GenerationAdvancesOnMutation) {
   EXPECT_GT(regs.generation(), g1);
 }
 
+TEST(DebugRegistersTest, ArmedSummaryTracksSetAndClear) {
+  DebugRegisterFile regs;
+  EXPECT_FALSE(regs.any_armed());
+  EXPECT_FALSE(regs.MayMatch(0x1000, 8));
+
+  regs.Set(0, 0x1000, 8, WatchType::kWrite);
+  regs.Set(1, 0x2000, 4, WatchType::kRead);
+  EXPECT_TRUE(regs.any_armed());
+  EXPECT_TRUE(regs.MayMatch(0x1000, 8));
+  EXPECT_TRUE(regs.MayMatch(0x2000, 4));
+  // Inside the [min, max-end) hull but between the two regions: MayMatch is
+  // a range-hull filter, so it conservatively says yes.
+  EXPECT_TRUE(regs.MayMatch(0x1800, 8));
+  // Entirely outside the hull on both sides.
+  EXPECT_FALSE(regs.MayMatch(0x0, 8));
+  EXPECT_FALSE(regs.MayMatch(0xF00, 0x100));  // ends exactly at min
+  EXPECT_FALSE(regs.MayMatch(0x2004, 8));     // starts exactly at max end
+
+  regs.Clear(1);
+  EXPECT_TRUE(regs.any_armed());
+  EXPECT_FALSE(regs.MayMatch(0x2000, 4));  // hull shrank back to slot 0
+
+  regs.ClearAll();
+  EXPECT_FALSE(regs.any_armed());
+  EXPECT_FALSE(regs.MayMatch(0x1000, 8));
+}
+
+// MayMatch must never reject an access Match would trap on: the fast loop
+// uses it to skip old-value capture, which is only sound for accesses that
+// cannot trap.
+TEST(DebugRegistersTest, MayMatchIsSupersetOfMatch) {
+  DebugRegisterFile regs;
+  regs.Set(0, 0x100, 4, WatchType::kWrite);
+  regs.Set(2, 0x140, 8, WatchType::kReadWrite);
+  regs.Set(3, 0x240, 1, WatchType::kRead);
+  for (Addr addr = 0xE0; addr < 0x260; ++addr) {
+    for (const unsigned size : {1u, 2u, 4u, 8u}) {
+      for (const AccessType type : {AccessType::kRead, AccessType::kWrite}) {
+        if (regs.Match(addr, size, type).has_value()) {
+          EXPECT_TRUE(regs.MayMatch(addr, size)) << "addr=" << addr << " size=" << size;
+        }
+      }
+    }
+  }
+}
+
+TEST(DebugRegistersTest, CopyFromReplicatesArmedSummary) {
+  DebugRegisterFile canonical;
+  canonical.Set(1, 0x5000, 8, WatchType::kReadWrite);
+  DebugRegisterFile core;
+  core.CopyFrom(canonical);
+  EXPECT_TRUE(core.any_armed());
+  EXPECT_TRUE(core.MayMatch(0x5000, 8));
+  EXPECT_FALSE(core.MayMatch(0x6000, 8));
+  canonical.ClearAll();
+  DebugRegisterFile cleared;
+  cleared.Set(0, 0x1, 1, WatchType::kRead);
+  cleared.CopyFrom(canonical);
+  EXPECT_FALSE(cleared.any_armed());
+  EXPECT_FALSE(cleared.MayMatch(0x1, 1));
+}
+
 TEST(DebugRegistersTest, CopyFromReplicatesImageAndGeneration) {
   DebugRegisterFile canonical;
   canonical.Set(3, 0xBEEF, 4, WatchType::kWrite);

@@ -133,6 +133,63 @@ TEST(ProgramTest, FunctionAtCoversBody) {
   EXPECT_EQ(p.FunctionAt(p.FindFunction("b")->entry)->name, "b");
 }
 
+// The decode tables built at Build() time must agree with the slow path they
+// replace: IndexOfPc with a linear PC scan, LengthAt with EncodedLength.
+TEST(ProgramTest, DecodeTablesMatchSlowPath) {
+  ProgramBuilder b;
+  b.BeginFunction("f");
+  b.Nop();
+  b.LoadImm(1, 5);
+  b.LoadImm(2, 1LL << 40);
+  b.Load(3, MemOperand::Indirect(1, 4096), 4);
+  b.Store(MemOperand::Absolute(0x10000), 2);
+  b.Ret();
+  b.EndFunction();
+  const Program p = b.Build();
+
+  std::size_t next = 0;  // walk every text byte, not just instruction starts
+  for (ProgramCounter pc = 0; pc < p.text_end(); ++pc) {
+    const auto index = p.IndexOfPc(pc);
+    if (next < p.size() && pc == p.PcOf(next)) {
+      ASSERT_TRUE(index.has_value()) << "pc=" << pc;
+      EXPECT_EQ(*index, next);
+      EXPECT_EQ(p.LengthAt(next), EncodedLength(p.At(next)));
+      ++next;
+    } else {
+      EXPECT_FALSE(index.has_value()) << "mid-instruction pc=" << pc;
+    }
+  }
+  EXPECT_EQ(next, p.size());
+  EXPECT_FALSE(p.IndexOfPc(p.text_end()).has_value());
+  EXPECT_FALSE(p.IndexOfPc(p.text_end() + 1000).has_value());
+  // The sentinel return address threads jump to on exit is far out of text.
+  EXPECT_FALSE(p.IndexOfPc(0xDEAD0000).has_value());
+}
+
+TEST(ProgramTest, FunctionLookupEdgeCases) {
+  ProgramBuilder b;
+  b.BeginFunction("a");
+  b.Nop();
+  b.LoadImm(1, 9);
+  b.Ret();
+  b.EndFunction();
+  b.BeginFunction("b");
+  b.Ret();
+  b.EndFunction();
+  const Program p = b.Build();
+
+  EXPECT_EQ(p.FindFunction("missing"), nullptr);
+  // Every PC inside a body maps back to its function; one past the last
+  // function's body maps to nothing.
+  for (ProgramCounter pc = 0; pc < p.text_end(); ++pc) {
+    const FunctionInfo* f = p.FunctionAt(pc);
+    ASSERT_NE(f, nullptr) << "pc=" << pc;
+    EXPECT_EQ(f->name, pc < p.FindFunction("b")->entry ? "a" : "b");
+  }
+  EXPECT_EQ(p.FunctionAt(p.text_end()), nullptr);
+  EXPECT_EQ(p.FunctionAt(p.text_end() + 64), nullptr);
+}
+
 TEST(RollbackTableTest, MapsNextPcToAccessingInstruction) {
   ProgramBuilder b;
   b.BeginFunction("f");

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "mem/address_space.h"
 #include "sched/machine.h"
 #include "tests/test_util.h"
@@ -344,6 +346,53 @@ TEST(MachineTest, DeterministicAcrossRuns) {
     return m.Run().cycles;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// The optimized hot loop (fast_loop, the default) must simulate exactly the
+// run the reference loop produces: same virtual clock, same instruction
+// count, same memory. Random scheduling over spawns, sleeps, and every
+// memory-operand opcode stresses the scheduler caches and the watchpoint
+// fast filter (docs/performance.md).
+TEST(MachineTest, FastLoopMatchesReferenceLoop) {
+  auto run_once = [](bool fast, std::uint64_t seed) {
+    ProgramBuilder b;
+    b.BeginFunction("main");
+    b.LoadFunctionAddress(0, "w");
+    b.LoadImm(1, 0);
+    b.SyscallOp(Syscall::kSpawn);
+    b.LoadFunctionAddress(0, "w");
+    b.LoadImm(1, 1);
+    b.SyscallOp(Syscall::kSpawn);
+    b.LoadImm(0, 300);
+    b.SyscallOp(Syscall::kSleep);
+    EmitDelay(b, 500);
+    b.Halt();
+    b.EndFunction();
+    b.BeginFunction("w");
+    b.LoadImm(1, 3);
+    b.Store(MemOperand::Absolute(kVarA), 1);
+    b.MovM(MemOperand::Absolute(kVarB), MemOperand::Absolute(kVarA));
+    b.Xchg(2, MemOperand::Absolute(kVarA), 1);
+    b.PushM(MemOperand::Absolute(kVarB));
+    b.Pop(3);
+    EmitDelay(b, 700);
+    b.LoadImm(0, 100);
+    b.SyscallOp(Syscall::kSleep);
+    b.Halt();
+    b.EndFunction();
+
+    MachineConfig config = testing::DualCoreConfig(seed);
+    config.policy = SchedPolicy::kRandom;
+    config.fast_loop = fast;
+    Machine m(b.Build(), config);
+    m.SpawnThreadByName("main", 0);
+    const RunResult result = m.Run();
+    return std::tuple{result.cycles, result.instructions, result.all_done,
+                      m.memory().Read(kVarA, 8), m.memory().Read(kVarB, 8)};
+  };
+  for (const std::uint64_t seed : {7u, 11u, 23u}) {
+    EXPECT_EQ(run_once(true, seed), run_once(false, seed)) << "seed=" << seed;
+  }
 }
 
 }  // namespace

@@ -25,6 +25,11 @@
 //   kivati shrink FILE [options]    minimize a recorded schedule while it
 //                                   still reproduces its target violation
 //                                   (delta debugging; docs/replay.md)
+//   kivati bench-interp [options]   interpreter throughput benchmark:
+//                                   simulated Mcycles/s per app × config,
+//                                   optimized and reference loop side by
+//                                   side (docs/performance.md; feeds
+//                                   BENCH_interp.json and CI's perf-smoke)
 //
 // Options for run/train:
 //   --threads f[:arg][,f[:arg]...]  threads to start (default: main:0)
@@ -45,6 +50,10 @@
 //   --precise-aliasing              annotator: alias/element precision
 //   --no-prune                      keep annotations the conflict analysis
 //                                   proves unviolable (default: drop them)
+//   --no-fast-loop                  use the reference interpreter loop
+//                                   instead of the optimized one; the run
+//                                   must be byte-identical either way
+//                                   (docs/performance.md)
 //   --verbose                       print every violation record
 //   --json FILE                     (run) also write the run as a JSON
 //                                   RunRecord; '-' writes to stdout
@@ -95,6 +104,17 @@
 //                                   with recording on and save its repro
 //                                   artifact to FILE
 //
+// Options for bench-interp:
+//   --apps a,b,...                  registered apps (default: nss,vlc)
+//   --configs c1,c2,...             vanilla and/or presets (default:
+//                                   vanilla,base,optimized)
+//   --repeats N                     wall-time repeats per cell, best wins
+//                                   (default 3)
+//   --fast-only / --reference-only  measure just one loop flavor
+//   --seed/--cores/--watchpoints/--max-cycles/--app-workers/
+//   --app-iterations                as for run/sweep
+//   --json FILE                     machine-readable report ('-' = stdout)
+//
 // Every option may also be spelled --option=value. Numeric options are
 // parsed strictly: the whole value must be a number in the documented range.
 #include <chrono>
@@ -112,6 +132,7 @@
 #include "exp/optparse.h"
 #include "exp/repro.h"
 #include "exp/run_record.h"
+#include "exp/interp_bench.h"
 #include "exp/run_spec.h"
 #include "exp/runner.h"
 #include "exp/shrink.h"
@@ -165,6 +186,15 @@ struct CliOptions {
   unsigned jobs = 0;  // 0 = all host cores
   int app_workers = 4;
   int app_iterations = 250;
+
+  // run/train/sweep/bench-interp: select the reference interpreter loop.
+  bool no_fast_loop = false;
+
+  // bench-interp.
+  std::vector<std::string> bench_configs;
+  unsigned repeats = 3;
+  bool fast_only = false;
+  bool reference_only = false;
 };
 
 [[noreturn]] void Fail(const std::string& message) {
@@ -264,6 +294,8 @@ void AddConfigOptions(exp::OptionTable& table, CliOptions& options) {
   });
   table.String("--whitelist", &options.whitelist_path, "load AR whitelist from FILE");
   table.Double("--pause-ms", &options.pause_ms, "bug-finding pause length", 0.0, 1e9);
+  table.Flag("--no-fast-loop", &options.no_fast_loop,
+             "use the reference interpreter loop (must be byte-identical)");
   AddAnnotatorOptions(table, options);
 }
 
@@ -464,11 +496,68 @@ exp::OptionTable SweepTable(CliOptions& options) {
   return table;
 }
 
+exp::OptionTable BenchInterpTable(CliOptions& options) {
+  exp::OptionTable table;
+  table.Value("--apps", "registered apps to bench", [&options](const std::string& value) {
+    std::vector<std::string> apps;
+    const std::string error = SplitCsv(value, &apps);
+    if (!error.empty()) {
+      return "--apps: " + error;
+    }
+    for (const std::string& app : apps) {
+      bool known = false;
+      for (const std::string& name : exp::RegisteredApps()) {
+        known = known || name == app;
+      }
+      if (!known) {
+        return "--apps: unknown app '" + app + "'";
+      }
+    }
+    options.apps = std::move(apps);
+    return std::string();
+  });
+  table.Value("--configs", "vanilla and/or presets", [&options](const std::string& value) {
+    std::vector<std::string> configs;
+    const std::string error = SplitCsv(value, &configs);
+    if (!error.empty()) {
+      return "--configs: " + error;
+    }
+    for (const std::string& config : configs) {
+      OptimizationPreset preset;
+      if (config != "vanilla" && !exp::ParsePreset(config, &preset)) {
+        return "--configs: unknown config '" + config +
+               "' (vanilla, base, null, syncvars, optimized)";
+      }
+    }
+    options.bench_configs = std::move(configs);
+    return std::string();
+  });
+  table.Unsigned("--repeats", &options.repeats, "wall-time repeats per cell", 1, 1000);
+  table.U64("--seed", &options.seed, "scheduler seed");
+  table.Unsigned("--cores", &options.cores, "simulated cores", 1, 256);
+  table.Unsigned("--watchpoints", &options.watchpoints, "watchpoint registers per core", 1,
+                 kMaxWatchpointCount);
+  table.Value("--max-cycles", "virtual cycle budget", [&options](const std::string& value) {
+    std::uint64_t parsed = 0;
+    if (!exp::ParseU64(value, &parsed) || parsed == 0) {
+      return "--max-cycles: '" + value + "' is not a positive integer";
+    }
+    options.max_cycles = parsed;
+    return std::string();
+  });
+  table.Int("--app-workers", &options.app_workers, "app thread-count scale", 1, 256);
+  table.Int("--app-iterations", &options.app_iterations, "app iteration scale", 1, 100'000'000);
+  table.Flag("--fast-only", &options.fast_only, "measure only the optimized loop");
+  table.Flag("--reference-only", &options.reference_only, "measure only the reference loop");
+  table.String("--json", &options.json_path, "machine-readable report ('-' = stdout)");
+  return table;
+}
+
 CliOptions ParseArgs(int argc, char** argv) {
   CliOptions options;
   if (argc < 2) {
-    Fail("usage: kivati annotate|analyze|run|train|sweep|replay|shrink [FILE] [options] "
-         "(see the header comment)");
+    Fail("usage: kivati annotate|analyze|run|train|sweep|replay|shrink|bench-interp "
+         "[FILE] [options] (see the header comment)");
   }
   options.command = argv[1];
   int first_option = 2;
@@ -505,6 +594,8 @@ CliOptions ParseArgs(int argc, char** argv) {
     table = ReplayTable(options);
   } else if (options.command == "shrink") {
     table = ShrinkTable(options);
+  } else if (options.command == "bench-interp") {
+    table = BenchInterpTable(options);
   } else {
     Fail("unknown command '" + options.command + "'");
   }
@@ -542,6 +633,7 @@ exp::RunSpec SpecFromOptions(const CliOptions& options) {
   spec.machine.num_cores = options.cores;
   spec.machine.watchpoints_per_core = options.watchpoints;
   spec.machine.seed = options.seed;
+  spec.machine.fast_loop = !options.no_fast_loop;
   spec.vanilla = options.vanilla;
   spec.preset = options.preset;
   spec.mode = options.mode;
@@ -804,7 +896,11 @@ int Shrink(const CliOptions& options) {
       std::fprintf(stderr, "shrink: %s\n", line.c_str());
     };
   }
+  const auto start = std::chrono::steady_clock::now();
   const exp::ShrinkResult result = exp::ShrinkSchedule(artifact, shrink_options);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double runs_per_sec = wall_s > 0.0 ? static_cast<double>(result.runs) / wall_s : 0.0;
 
   std::string out_path = options.out_path;
   if (out_path.empty()) {
@@ -825,9 +921,11 @@ int Shrink(const CliOptions& options) {
 
   FILE* human = options.json_path == "-" ? stderr : stdout;
   if (result.reproduced) {
-    std::fprintf(human, "shrink: %zu -> %zu decision(s) in %zu run(s)%s; saved to %s\n",
+    std::fprintf(human,
+                 "shrink: %zu -> %zu decision(s) in %zu run(s) (%.1f runs/s)%s; saved to %s\n",
                  result.original_decisions, result.trace.decisions.size(), result.runs,
-                 result.budget_exhausted ? " (run budget exhausted)" : "", out_path.c_str());
+                 runs_per_sec, result.budget_exhausted ? " (run budget exhausted)" : "",
+                 out_path.c_str());
   } else {
     std::fprintf(human,
                  "shrink: the recorded trace does not reproduce the target violation "
@@ -840,6 +938,11 @@ int Shrink(const CliOptions& options) {
     json += "\"original_decisions\":" + std::to_string(result.original_decisions) + ",";
     json += "\"decisions\":" + std::to_string(result.trace.decisions.size()) + ",";
     json += "\"runs\":" + std::to_string(result.runs) + ",";
+    {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "\"runs_per_sec\":%.1f,", runs_per_sec);
+      json += buf;
+    }
     json += "\"budget_exhausted\":" + std::string(result.budget_exhausted ? "true" : "false");
     if (result.reproduced) {
       json += ",\"out\":\"" + EscapeJson(out_path) + "\"";
@@ -848,6 +951,44 @@ int Shrink(const CliOptions& options) {
     WriteJsonOutput(options.json_path, json);
   }
   return result.reproduced ? 0 : 1;
+}
+
+int BenchInterp(const CliOptions& options) {
+  if (options.fast_only && options.reference_only) {
+    Fail("bench-interp takes at most one of --fast-only / --reference-only");
+  }
+  exp::InterpBenchSpec spec;
+  spec.apps = options.apps.empty() ? std::vector<std::string>{"nss", "vlc"} : options.apps;
+  spec.configs = options.bench_configs.empty()
+                     ? std::vector<std::string>{"vanilla", "base", "optimized"}
+                     : options.bench_configs;
+  spec.repeats = options.repeats;
+  spec.seed = options.seed;
+  spec.cores = options.cores;
+  spec.watchpoints = options.watchpoints;
+  spec.max_cycles = options.max_cycles;
+  spec.scale.workers = options.app_workers;
+  spec.scale.iterations = options.app_iterations;
+  spec.scale.annotator = options.annotator;
+  spec.scale.prune = !options.no_prune;
+  spec.include_fast = !options.reference_only;
+  spec.include_reference = !options.fast_only;
+
+  // Progress (and the human table) on stderr when stdout carries the JSON.
+  FILE* human = options.json_path == "-" ? stderr : stdout;
+  const auto entries = exp::RunInterpBench(spec, [human](const exp::InterpBenchEntry& e) {
+    std::fprintf(human, "%-44s %-9s %12llu cycles %9.1f ms %9.2f Mcyc/s %9.2f MIPS\n",
+                 e.label.c_str(), e.fast_loop ? "fast" : "reference",
+                 static_cast<unsigned long long>(e.cycles), e.best_wall_ms, e.mcycles_per_sec,
+                 e.mips);
+  });
+  if (!options.json_path.empty()) {
+    WriteJsonOutput(options.json_path, exp::InterpBenchJson(entries));
+    if (options.json_path != "-") {
+      std::fprintf(human, "report written to %s\n", options.json_path.c_str());
+    }
+  }
+  return 0;
 }
 
 int TrainCommand(const CliOptions& options) {
@@ -894,6 +1035,7 @@ int Sweep(const CliOptions& options) {
   grid.base.scale.iterations = options.app_iterations;
   grid.base.scale.annotator = options.annotator;
   grid.base.scale.prune = !options.no_prune;
+  grid.base.machine.fast_loop = !options.no_fast_loop;
   grid.base.pause_ms = options.pause_ms;
   grid.base.whitelist_path = options.whitelist_path;
   grid.base.budget = options.max_cycles;
@@ -1000,6 +1142,9 @@ int Main(int argc, char** argv) {
     }
     if (options.command == "shrink") {
       return Shrink(options);
+    }
+    if (options.command == "bench-interp") {
+      return BenchInterp(options);
     }
   } catch (const std::exception& e) {
     Fail(e.what());

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Interpreter-throughput smoke for the hot loop (docs/performance.md).
+#
+# Runs `kivati bench-interp` over the standard grid and compares each
+# fast-loop cell's simulated Mcycles/s against the committed
+# BENCH_interp.json baseline. Fails when a cell drops below THRESHOLD
+# (default 0.7) of the committed number so hot-loop regressions surface in
+# CI; absolute throughput varies across runners, hence the wide margin.
+#
+#   sh tools/perf_smoke.sh check    # compare against BENCH_interp.json
+#   sh tools/perf_smoke.sh update   # regenerate the baseline (Release build)
+#
+# Override the binary with KIVATI=path. Run from the repo root.
+set -eu
+
+KIVATI="${KIVATI:-./build/tools/kivati}"
+BASELINE="BENCH_interp.json"
+THRESHOLD="${THRESHOLD:-0.7}"
+GRID="--apps nss,vlc --configs vanilla,base,optimized --repeats 3"
+
+case "${1:-check}" in
+  update)
+    # shellcheck disable=SC2086  # GRID is a flag list on purpose
+    "$KIVATI" bench-interp $GRID --json "$BASELINE"
+    echo "wrote $BASELINE"
+    ;;
+  check)
+    # shellcheck disable=SC2086
+    "$KIVATI" bench-interp $GRID --fast-only --json perf_current.json
+    python3 - "$BASELINE" perf_current.json "$THRESHOLD" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path = sys.argv[1], sys.argv[2]
+threshold = float(sys.argv[3])
+
+
+def fast_cells(path):
+    with open(path) as f:
+        report = json.load(f)
+    return {e["label"]: e["mcycles_per_sec"]
+            for e in report["entries"] if e["fast_loop"]}
+
+
+baseline = fast_cells(baseline_path)
+current = fast_cells(current_path)
+failed = False
+for label, now in sorted(current.items()):
+    want = baseline.get(label)
+    if want is None:
+        print(f"SKIP       {label}: not in {baseline_path}")
+        continue
+    ratio = now / want if want else float("inf")
+    ok = ratio >= threshold
+    print(f"{'ok' if ok else 'REGRESSION':10s} {label}: "
+          f"{now:.2f} vs committed {want:.2f} Mcyc/s ({ratio:.2f}x)")
+    failed = failed or not ok
+sys.exit(1 if failed else 0)
+EOF
+    ;;
+  *)
+    echo "usage: $0 [check|update]" >&2
+    exit 2
+    ;;
+esac
