@@ -45,6 +45,12 @@ void Engine::ReplaySchedule(std::shared_ptr<const ScheduleTrace> trace, bool str
   machine_.set_schedule_controller(sched_ctl_.get());
 }
 
+void Engine::GuideSchedule(std::shared_ptr<const GuidedSchedule> guided) {
+  strategy_ = MakeStrategy(*guided);
+  sched_ctl_ = std::make_unique<ScheduleController>(strategy_.get(), guided->seed);
+  machine_.set_schedule_controller(sched_ctl_.get());
+}
+
 const ScheduleTrace* Engine::recorded_schedule() const {
   return sched_ctl_ != nullptr && sched_ctl_->recording() ? &sched_ctl_->trace() : nullptr;
 }

@@ -18,6 +18,7 @@
 
 #include "core/workload.h"
 #include "runtime/kivati_runtime.h"
+#include "sched/fuzz_strategy.h"
 #include "sched/machine.h"
 
 namespace kivati {
@@ -53,14 +54,17 @@ class Engine {
   KivatiRuntime* runtime() { return runtime_.get(); }
 
   // --- Schedule record/replay (docs/replay.md) -----------------------------
-  // At most one of the two may be enabled, before the first Run call.
+  // At most one of the three may be enabled, before the first Run call.
   // Records every scheduling decision; read the trace back after Run.
   void RecordSchedule();
   // Drives the scheduler from `trace`. Strict replay verifies each decision
   // and throws ScheduleDivergenceError on mismatch; loose replay treats the
   // trace as a choice stream (shrunk traces).
   void ReplaySchedule(std::shared_ptr<const ScheduleTrace> trace, bool strict);
-  // Null unless RecordSchedule/ReplaySchedule was called.
+  // Drives the scheduler from a fuzz strategy (docs/fuzzing.md) while
+  // recording the decisions, so recorded_schedule() is strict-replayable.
+  void GuideSchedule(std::shared_ptr<const GuidedSchedule> guided);
+  // Null unless RecordSchedule/ReplaySchedule/GuideSchedule was called.
   const ScheduleController* schedule_controller() const { return sched_ctl_.get(); }
   // The recorded trace (null unless recording).
   const ScheduleTrace* recorded_schedule() const;
@@ -69,6 +73,7 @@ class Engine {
   Cycles default_max_;
   Machine machine_;
   std::unique_ptr<KivatiRuntime> runtime_;
+  std::unique_ptr<SchedStrategy> strategy_;  // guided mode
   std::unique_ptr<ScheduleController> sched_ctl_;
   std::shared_ptr<const ScheduleTrace> replay_trace_;  // keeps the trace alive
 };

@@ -49,9 +49,14 @@ struct RunRecord {
   // Host-side measurements; excluded by include_wall_clock=false.
   double wall_ms = 0.0;
 
+  // Full violation list of the run, for consumers that need more than the
+  // counts above (the fuzzer dedupes discoveries by AR/pattern/address).
+  // Not part of the JSON record.
+  std::vector<ViolationRecord> violation_records;
+
   // The recorded schedule when the spec asked for one (RunSpec::
-  // record_schedule). Not part of the JSON record — saved separately as a
-  // repro artifact (exp/repro.h).
+  // record_schedule, or a guided fuzz run). Not part of the JSON record —
+  // saved separately as a repro artifact (exp/repro.h).
   std::shared_ptr<const ScheduleTrace> schedule;
 
   // Non-empty if the run threw instead of finishing (sweeps keep going).

@@ -191,8 +191,11 @@ EngineOptions MakeEngineOptions(const RunSpec& spec) {
 BuiltRun BuildEngine(const RunSpec& spec) { return BuildEngine(spec, ResolveApp(spec)); }
 
 BuiltRun BuildEngine(const RunSpec& spec, std::shared_ptr<const apps::App> app) {
-  if (spec.record_schedule && spec.replay_schedule != nullptr) {
-    throw std::runtime_error("RunSpec cannot both record and replay a schedule");
+  const int drivers = spec.record_schedule + (spec.replay_schedule != nullptr) +
+                      (spec.guided_schedule != nullptr);
+  if (drivers > 1) {
+    throw std::runtime_error(
+        "RunSpec allows at most one of record/replay/guided schedule");
   }
   BuiltRun run;
   run.app = std::move(app);
@@ -204,6 +207,8 @@ BuiltRun BuildEngine(const RunSpec& spec, std::shared_ptr<const apps::App> app) 
     // Shrunk traces are decision subsets, not full transcripts: always loose.
     const bool strict = spec.replay_strict && !spec.replay_schedule->shrunk;
     run.engine->ReplaySchedule(spec.replay_schedule, strict);
+  } else if (spec.guided_schedule != nullptr) {
+    run.engine->GuideSchedule(spec.guided_schedule);
   }
   return run;
 }

@@ -78,13 +78,16 @@ struct RunSpec {
   // Collect SYS_MARK values with this tag into the record (0 = none).
   std::int64_t latency_tag = 0;
 
-  // Schedule record/replay (docs/replay.md). At most one of the two:
-  // capture a ScheduleTrace during the run (RunRecord::schedule), or drive
-  // the scheduler from a previously recorded trace. Shrunk traces replay
-  // loosely regardless of `replay_strict`.
+  // Schedule record/replay (docs/replay.md) and guided fuzzing
+  // (docs/fuzzing.md). At most one of the three: capture a ScheduleTrace
+  // during the run (RunRecord::schedule), drive the scheduler from a
+  // previously recorded trace, or drive it from a fuzz strategy (which also
+  // records, so guided runs fill RunRecord::schedule too). Shrunk traces
+  // replay loosely regardless of `replay_strict`.
   bool record_schedule = false;
   std::shared_ptr<const ScheduleTrace> replay_schedule;
   bool replay_strict = true;
+  std::shared_ptr<const GuidedSchedule> guided_schedule;
 };
 
 // Names of the registered Table-2 performance applications, in row order.

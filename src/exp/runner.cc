@@ -72,6 +72,7 @@ RunRecord MakeRecord(const RunSpec& spec, const apps::App& app, Engine& engine,
     prevented += v.prevented ? 1 : 0;
   }
   record.violations_prevented = prevented;
+  record.violation_records.assign(trace.violations().begin(), trace.violations().end());
   record.unique_violating_ars = trace.UniqueViolatingArs();
   record.false_positive_ars = trace.UniqueViolatingArsExcluding(app.workload.buggy_ars);
   if (spec.latency_tag != 0) {

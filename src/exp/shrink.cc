@@ -21,6 +21,7 @@ class CandidateRunner {
       : base_(artifact.spec), target_(artifact.target), seed_(artifact.trace.seed) {
     base_.record_schedule = false;
     base_.replay_schedule = nullptr;
+    base_.guided_schedule = nullptr;
     app_ = ResolveApp(base_);
     // Every ddmin candidate builds a fresh Engine for the same program;
     // share one ProgramImage so candidates skip the per-run program copy
@@ -133,11 +134,16 @@ ShrinkResult ShrinkSchedule(const ReproArtifact& artifact, const ShrinkOptions& 
   }
 
   // 3. ddmin: delete chunks the reproduction survives, halving the chunk
-  // size on a full fruitless sweep, to a 1-minimal fixpoint.
+  // size on a full fruitless sweep, to a 1-minimal fixpoint. Convergence is
+  // tracked explicitly: `budget_exhausted` means the budget cut the search
+  // short, not that the last candidate happened to land on run #max_runs —
+  // a sweep that completes on exactly the final allowed run still converged.
   std::size_t chunk = std::max<std::size_t>(current.size() / 2, 1);
+  bool converged = false;
   while (!current.empty() && budget_left()) {
     bool removed_any = false;
-    for (std::size_t start = 0; start < current.size() && budget_left();) {
+    std::size_t start = 0;
+    while (start < current.size() && budget_left()) {
       const std::size_t end = std::min(start + chunk, current.size());
       std::vector<SchedDecision> candidate;
       candidate.reserve(current.size() - (end - start));
@@ -155,15 +161,20 @@ ShrinkResult ShrinkSchedule(const ReproArtifact& artifact, const ShrinkOptions& 
         start = end;
       }
     }
-    if (chunk == 1) {
-      if (!removed_any) {
-        break;  // 1-minimal
-      }
-    } else {
+    if (chunk == 1 && !removed_any) {
+      // 1-minimal only if the fruitless sweep actually covered every
+      // position; a sweep the budget cut short proves nothing.
+      converged = start >= current.size();
+      break;
+    }
+    if (chunk > 1) {
       chunk = std::max<std::size_t>(chunk / 2, 1);
     }
   }
-  result.budget_exhausted = !budget_left();
+  if (current.empty()) {
+    converged = true;  // nothing left to delete: trivially 1-minimal
+  }
+  result.budget_exhausted = !converged;
 
   result.trace.decisions = std::move(current);
   return result;

@@ -1,0 +1,176 @@
+#include "sched/fuzz_strategy.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace kivati {
+namespace {
+
+// Initial PCT priorities live in [kPriorityBase, 2*kPriorityBase); demoted
+// threads count down from kPriorityBase-1, so any demotion lands below every
+// initial priority and successive demotions stay ordered among themselves.
+constexpr std::uint32_t kPriorityBase = 1u << 30;
+
+// Draws `count` points uniformly over [1, horizon] and sorts them. Duplicate
+// points collapse (two change points at the same decision fire back to
+// back), which is fine for a randomized search.
+std::vector<std::uint64_t> DrawPoints(Rng& rng, unsigned count, std::uint32_t horizon) {
+  std::vector<std::uint64_t> points;
+  points.reserve(count);
+  const std::uint64_t span = horizon == 0 ? 1 : horizon;
+  for (unsigned i = 0; i < count; ++i) {
+    points.push_back(1 + rng.NextBelow(span));
+  }
+  std::sort(points.begin(), points.end());
+  return points;
+}
+
+// PCT-style randomized priority scheduling. Priorities are assigned lazily
+// the first time a thread shows up in a runnable set (thread creation order
+// is deterministic per run, so so are the draws).
+class PctStrategy : public SchedStrategy {
+ public:
+  explicit PctStrategy(const GuidedSchedule& spec)
+      : rng_(spec.seed),
+        change_points_(DrawPoints(rng_, spec.pct_depth, spec.horizon)),
+        pause_probability_(spec.pause_probability) {}
+
+  std::size_t Pick(const ThreadId* runnable, std::size_t choices, std::uint64_t) override {
+    ++picks_;
+    std::size_t best = Best(runnable, choices);
+    if (next_change_ < change_points_.size() && picks_ >= change_points_[next_change_]) {
+      ++next_change_;
+      priority_[runnable[best]] = next_demoted_--;
+      best = Best(runnable, choices);
+    }
+    return best;
+  }
+
+  bool Pause(ThreadId, std::uint64_t) override {
+    return rng_.NextBool(pause_probability_);
+  }
+
+ private:
+  std::uint32_t PriorityOf(ThreadId tid) {
+    if (tid >= priority_.size()) {
+      priority_.resize(tid + 1, 0);
+    }
+    if (priority_[tid] == 0) {
+      priority_[tid] =
+          kPriorityBase + static_cast<std::uint32_t>(rng_.NextBelow(kPriorityBase));
+    }
+    return priority_[tid];
+  }
+
+  // Highest-priority runnable thread; ties broken by position (lowest id
+  // first, matching the ready queue's deterministic order).
+  std::size_t Best(const ThreadId* runnable, std::size_t choices) {
+    std::size_t best = 0;
+    std::uint32_t best_priority = PriorityOf(runnable[0]);
+    for (std::size_t i = 1; i < choices; ++i) {
+      const std::uint32_t p = PriorityOf(runnable[i]);
+      if (p > best_priority) {
+        best = i;
+        best_priority = p;
+      }
+    }
+    return best;
+  }
+
+  Rng rng_;
+  std::vector<std::uint32_t> priority_;  // by ThreadId; 0 = unassigned
+  std::vector<std::uint64_t> change_points_;
+  std::size_t next_change_ = 0;
+  std::uint64_t picks_ = 0;
+  std::uint32_t next_demoted_ = kPriorityBase - 1;
+  double pause_probability_;
+};
+
+// Bounded-preemption search: run the previous thread whenever it is still
+// runnable, except at the enumerated preemption points. Forced switches
+// (the previous thread blocked or exited) are free; bug-finding pauses are
+// preemptions of their own thread and consume the same budget.
+class PreemptStrategy : public SchedStrategy {
+ public:
+  explicit PreemptStrategy(const GuidedSchedule& spec)
+      : rng_(spec.seed),
+        preempt_points_(DrawPoints(rng_, spec.preempt_bound, spec.horizon)) {}
+
+  std::size_t Pick(const ThreadId* runnable, std::size_t choices, std::uint64_t) override {
+    ++decisions_;
+    std::size_t keep = choices;  // index of the previous thread, if runnable
+    for (std::size_t i = 0; i < choices; ++i) {
+      if (runnable[i] == last_) {
+        keep = i;
+        break;
+      }
+    }
+    std::size_t pick;
+    if (keep == choices) {
+      pick = rng_.NextBelow(choices);  // forced switch: free random choice
+    } else if (TakePreemption()) {
+      pick = rng_.NextBelow(choices - 1);  // switch away from the keeper
+      if (pick >= keep) {
+        ++pick;
+      }
+    } else {
+      pick = keep;
+    }
+    last_ = runnable[pick];
+    return pick;
+  }
+
+  bool Pause(ThreadId, std::uint64_t) override {
+    ++decisions_;
+    return TakePreemption();
+  }
+
+ private:
+  bool TakePreemption() {
+    if (next_point_ >= preempt_points_.size() || decisions_ < preempt_points_[next_point_]) {
+      return false;
+    }
+    ++next_point_;
+    return true;
+  }
+
+  Rng rng_;
+  std::vector<std::uint64_t> preempt_points_;
+  std::size_t next_point_ = 0;
+  std::uint64_t decisions_ = 0;
+  ThreadId last_ = kInvalidThread;
+};
+
+}  // namespace
+
+const char* ToString(FuzzStrategyKind kind) {
+  switch (kind) {
+    case FuzzStrategyKind::kPct: return "pct";
+    case FuzzStrategyKind::kPreempt: return "preempt";
+  }
+  return "?";
+}
+
+bool ParseStrategyKind(const std::string& text, FuzzStrategyKind* out) {
+  if (text == "pct") {
+    *out = FuzzStrategyKind::kPct;
+    return true;
+  }
+  if (text == "preempt") {
+    *out = FuzzStrategyKind::kPreempt;
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<SchedStrategy> MakeStrategy(const GuidedSchedule& spec) {
+  switch (spec.kind) {
+    case FuzzStrategyKind::kPct: return std::make_unique<PctStrategy>(spec);
+    case FuzzStrategyKind::kPreempt: return std::make_unique<PreemptStrategy>(spec);
+  }
+  return std::make_unique<PctStrategy>(spec);
+}
+
+}  // namespace kivati

@@ -1,0 +1,85 @@
+// Pluggable schedule-search strategies for coverage-guided fuzzing
+// (docs/fuzzing.md).
+//
+// A SchedStrategy answers the scheduler's nondeterministic decisions — which
+// runnable thread to run next, whether a sampled thread takes a bug-finding
+// pause — from a seeded generator instead of the machine RNG. The
+// ScheduleController's guided mode routes every decision through the
+// strategy *and* records it, so each guided run yields an ordinary
+// ScheduleTrace that replays strictly and shrinks with ShrinkSchedule: every
+// fuzz discovery is immediately a self-contained repro artifact.
+//
+// Two strategies are provided:
+//
+//   kPct      PCT-style randomized priorities (Burckhardt et al.): every
+//             thread gets a random fixed priority; the highest-priority
+//             runnable thread always runs, except at `pct_depth` randomly
+//             placed change points where the current winner is demoted below
+//             everyone else. Explores orderings with a probabilistic
+//             bug-depth guarantee.
+//   kPreempt  bounded-preemption search (CHESS-style): keep running the
+//             previously scheduled thread, except at `preempt_bound`
+//             randomly enumerated decision points where control is forced to
+//             a different thread (bug-finding pauses count against the same
+//             bound — a pause preempts its own thread).
+//
+// Both draw from an Rng seeded per candidate schedule, so a (strategy, seed)
+// pair is a complete, reproducible description of one explored schedule.
+#ifndef KIVATI_SCHED_FUZZ_STRATEGY_H_
+#define KIVATI_SCHED_FUZZ_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace kivati {
+
+enum class FuzzStrategyKind : std::uint8_t {
+  kPct,      // randomized-priority schedules
+  kPreempt,  // bounded-preemption enumeration
+};
+
+const char* ToString(FuzzStrategyKind kind);
+bool ParseStrategyKind(const std::string& text, FuzzStrategyKind* out);
+
+// Everything needed to regenerate one guided schedule: strategy kind, its
+// seed, and the search parameters. Attached to a RunSpec
+// (RunSpec::guided_schedule); the fuzz orchestrator derives one per
+// candidate from the fuzz seed and the schedule index.
+struct GuidedSchedule {
+  FuzzStrategyKind kind = FuzzStrategyKind::kPct;
+  std::uint64_t seed = 1;
+  // PCT: number of priority-change points placed over the decision horizon.
+  unsigned pct_depth = 3;
+  // Bounded preemption: forced context switches (and pauses) per schedule.
+  unsigned preempt_bound = 3;
+  // Decision horizon over which change/preemption points are drawn. Points
+  // landing past the run's actual decision count simply never fire.
+  std::uint32_t horizon = 4096;
+  // Probability that a sampled bug-finding pause is taken (PCT; the
+  // preemption strategy charges pauses against preempt_bound instead).
+  double pause_probability = 0.5;
+};
+
+// One candidate schedule's decision source. Pick is only consulted for
+// multi-way choices (choices >= 2, matching the recorded-decision gate);
+// implementations must return an index < choices.
+class SchedStrategy {
+ public:
+  virtual ~SchedStrategy() = default;
+
+  // The index (into runnable[0..choices)) of the thread to run next.
+  virtual std::size_t Pick(const ThreadId* runnable, std::size_t choices,
+                           std::uint64_t instr) = 0;
+
+  // Whether the sampled thread takes a bug-finding pause.
+  virtual bool Pause(ThreadId tid, std::uint64_t instr) = 0;
+};
+
+std::unique_ptr<SchedStrategy> MakeStrategy(const GuidedSchedule& spec);
+
+}  // namespace kivati
+
+#endif  // KIVATI_SCHED_FUZZ_STRATEGY_H_

@@ -174,7 +174,7 @@ ThreadId Machine::PopRunnable() {
   std::size_t pick = 0;
   if (config_.policy == SchedPolicy::kRandom && ready_.size() > 1) {
     if (sched_ctl_ != nullptr && sched_ctl_->replaying()) {
-      pick = sched_ctl_->ReplayPick(ready_.size(), instructions_executed_);
+      pick = sched_ctl_->ReplayPick(ready_.data(), ready_.size(), instructions_executed_);
     } else {
       pick = rng_.NextBelow(ready_.size());
     }

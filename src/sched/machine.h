@@ -19,7 +19,6 @@
 #define KIVATI_SCHED_MACHINE_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -278,7 +277,9 @@ class Machine {
 
   std::vector<std::unique_ptr<ThreadContext>> threads_;
   std::vector<bool> queued_;
-  std::deque<ThreadId> ready_;
+  // Contiguous so the purged runnable set can be handed to the schedule
+  // controller (guided strategies pick by thread id; docs/fuzzing.md).
+  std::vector<ThreadId> ready_;
   std::vector<Core> cores_;
 
   Cycles now_ = 0;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sched/fuzz_strategy.h"
+
 namespace kivati {
 namespace {
 
@@ -29,6 +31,11 @@ ScheduleController::ScheduleController(std::uint64_t seed) : mode_(Mode::kRecord
 ScheduleController::ScheduleController(const ScheduleTrace& trace, Mode mode)
     : mode_(mode), replay_(&trace) {}
 
+ScheduleController::ScheduleController(SchedStrategy* strategy, std::uint64_t seed)
+    : mode_(Mode::kGuided), strategy_(strategy) {
+  recorded_.seed = seed;
+}
+
 const SchedDecision& ScheduleController::ExpectDecision(SchedDecisionKind kind,
                                                         std::uint64_t instr) {
   if (cursor_ >= replay_->decisions.size()) {
@@ -49,10 +56,26 @@ const SchedDecision& ScheduleController::ExpectDecision(SchedDecisionKind kind,
   return d;
 }
 
-std::size_t ScheduleController::ReplayPick(std::size_t choices, std::uint64_t instr) {
+std::size_t ScheduleController::ReplayPick(const ThreadId* runnable, std::size_t choices,
+                                           std::uint64_t instr) {
+  if (mode_ == Mode::kGuided) {
+    if (choices == 0) {
+      return 0;  // nothing runnable: the caller's no-decision path
+    }
+    // Defensive clamp: a strategy must return an in-range index, but a
+    // wild one must not become an out-of-bounds ready-queue access.
+    return strategy_->Pick(runnable, choices, instr) % choices;
+  }
   if (mode_ == Mode::kReplayLoose) {
-    if (cursor_ >= replay_->decisions.size() || choices == 0) {
+    if (cursor_ >= replay_->decisions.size()) {
       return 0;  // exhausted: deterministic first-runnable fallback
+    }
+    if (choices == 0) {
+      // All threads suspended or timed-waiting at a consumed decision: the
+      // value % choices remap is undefined for an empty runnable set. Take
+      // the no-decision fallback and leave the choice stream untouched so
+      // the remaining decisions still line up with later consult points.
+      return 0;
     }
     const SchedDecision& d = replay_->decisions[cursor_++];
     return d.value % choices;
@@ -72,6 +95,7 @@ void ScheduleController::CommitPick(std::size_t choices, std::size_t pick, Threa
                                     std::uint64_t instr) {
   switch (mode_) {
     case Mode::kRecord:
+    case Mode::kGuided:
       recorded_.decisions.push_back({SchedDecisionKind::kPick,
                                      static_cast<std::uint32_t>(pick),
                                      static_cast<std::uint32_t>(choices), chosen, instr});
@@ -93,6 +117,12 @@ void ScheduleController::CommitPick(std::size_t choices, std::size_t pick, Threa
 }
 
 bool ScheduleController::ReplayPause(ThreadId tid, std::uint64_t instr) {
+  if (mode_ == Mode::kGuided) {
+    const bool pause = strategy_->Pause(tid, instr);
+    recorded_.decisions.push_back(
+        {SchedDecisionKind::kPause, pause ? 1u : 0u, 0u, tid, instr});
+    return pause;
+  }
   if (mode_ == Mode::kReplayLoose) {
     if (cursor_ >= replay_->decisions.size()) {
       return false;  // exhausted: no pauses beyond the minimized schedule
@@ -121,6 +151,7 @@ void ScheduleController::RecordPause(ThreadId tid, bool pause, std::uint64_t ins
 void ScheduleController::OnPreemption(CoreId core, ThreadId thread, std::uint64_t instr) {
   switch (mode_) {
     case Mode::kRecord:
+    case Mode::kGuided:
       recorded_.checkpoints.push_back({instr, thread, core});
       break;
     case Mode::kReplayStrict: {

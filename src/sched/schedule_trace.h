@@ -19,6 +19,11 @@
 // pauses. A loose trace is therefore a self-contained minimized schedule:
 // the decisions it keeps are the nondeterminism sufficient to trigger the
 // recorded violation.
+//
+// Guided mode (docs/fuzzing.md) drives decisions from a SchedStrategy — a
+// seeded schedule-search generator (sched/fuzz_strategy.h) — while recording
+// them exactly as record mode does, so every fuzz candidate leaves behind a
+// strict-replayable ScheduleTrace.
 #ifndef KIVATI_SCHED_SCHEDULE_TRACE_H_
 #define KIVATI_SCHED_SCHEDULE_TRACE_H_
 
@@ -82,12 +87,14 @@ class ScheduleDivergenceError : public std::runtime_error {
   std::size_t index_ = 0;
 };
 
+class SchedStrategy;
+
 // Drives recording or replay of one run. The Machine (picks, preemption
 // checkpoints) and the Kivati kernel (pause samples) call in; Engine owns
 // the controller and installs it before Run.
 class ScheduleController {
  public:
-  enum class Mode : std::uint8_t { kRecord, kReplayStrict, kReplayLoose };
+  enum class Mode : std::uint8_t { kRecord, kReplayStrict, kReplayLoose, kGuided };
 
   // Recording into an internally owned trace.
   explicit ScheduleController(std::uint64_t seed);
@@ -95,24 +102,33 @@ class ScheduleController {
   // verifies every decision and checkpoint; loose mode consumes the
   // decisions as a plain choice stream (shrunk traces).
   ScheduleController(const ScheduleTrace& trace, Mode mode);
+  // Guided mode: decisions come from `strategy` (borrowed; must outlive the
+  // controller) and are recorded as in record mode, so the finished run's
+  // trace() is strict-replayable. `seed` is informational, as for recording.
+  ScheduleController(SchedStrategy* strategy, std::uint64_t seed);
 
   Mode mode() const { return mode_; }
-  bool recording() const { return mode_ == Mode::kRecord; }
+  // Guided runs both source decisions externally (replaying) and own a
+  // recorded trace (recording); the two predicates overlap on purpose.
+  bool recording() const { return mode_ == Mode::kRecord || mode_ == Mode::kGuided; }
   bool replaying() const { return mode_ != Mode::kRecord; }
 
   // --- Machine: PopRunnable picks ------------------------------------------
-  // Replay only: the pick index for a decision among `choices` runnable
-  // threads. Strict mode throws ScheduleDivergenceError on kind/size/instr
-  // mismatch or an exhausted trace; loose mode remaps (value % choices) and
-  // returns 0 once exhausted.
-  std::size_t ReplayPick(std::size_t choices, std::uint64_t instr);
+  // Replay/guided only: the pick index for a decision among the `choices`
+  // runnable threads in runnable[0..choices). Strict mode throws
+  // ScheduleDivergenceError on kind/size/instr mismatch or an exhausted
+  // trace; loose mode remaps (value % choices) and returns 0 once exhausted
+  // — or, for an empty runnable set, takes the no-decision fallback without
+  // touching the stream; guided mode asks the strategy.
+  std::size_t ReplayPick(const ThreadId* runnable, std::size_t choices, std::uint64_t instr);
   // Both modes, after the pick is resolved: records the decision, or (strict
   // replay) verifies the picked thread matches the recording.
   void CommitPick(std::size_t choices, std::size_t pick, ThreadId chosen, std::uint64_t instr);
 
   // --- Kernel: bug-finding pause samples -----------------------------------
-  // Replay only: whether the sampled thread pauses. Loose mode returns
-  // false once exhausted.
+  // Replay/guided only: whether the sampled thread pauses. Loose mode
+  // returns false once exhausted; guided mode asks the strategy and records
+  // the outcome.
   bool ReplayPause(ThreadId tid, std::uint64_t instr);
   void RecordPause(ThreadId tid, bool pause, std::uint64_t instr);
 
@@ -133,8 +149,9 @@ class ScheduleController {
   const SchedDecision& ExpectDecision(SchedDecisionKind kind, std::uint64_t instr);
 
   Mode mode_;
-  ScheduleTrace recorded_;              // record mode
+  ScheduleTrace recorded_;              // record + guided modes
   const ScheduleTrace* replay_ = nullptr;  // replay modes
+  SchedStrategy* strategy_ = nullptr;      // guided mode
   std::size_t cursor_ = 0;
   std::size_t checkpoint_cursor_ = 0;
 };

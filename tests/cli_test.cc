@@ -510,6 +510,51 @@ TEST_F(CliTest, ReplayOfTamperedTraceExitsWithDivergence) {
   EXPECT_NE(replay.output.find("diverge"), std::string::npos) << replay.output;
 }
 
+// Strict option parsing for the replay/shrink/fuzz surface: zero budgets and
+// malformed seeds must be rejected up front, not truncated into no-op runs.
+TEST_F(CliTest, FuzzAndShrinkRejectDegenerateBudgets) {
+  for (const std::string args :
+       {"fuzz --bug NSS-329072 --schedules 0", "fuzz --bug NSS-329072 --plateau 0",
+        "fuzz --bug NSS-329072 --seed abc", "fuzz --bug NSS-329072 --strategy chaos",
+        "fuzz --bug NSS-329072 --pause-prob 1.5", "fuzz --bug NSS-329072 --shrink-runs 0",
+        "shrink nosuch.json --max-runs 0"}) {
+    const CommandResult result = RunCli(args);
+    EXPECT_NE(result.exit_code, 0) << args << ": " << result.output;
+    EXPECT_NE(result.output.find("kivati:"), std::string::npos) << args << ": " << result.output;
+  }
+  const CommandResult zero = RunCli("fuzz --bug NSS-329072 --schedules 0");
+  EXPECT_NE(zero.output.find("out of range"), std::string::npos) << zero.output;
+  const CommandResult shrink = RunCli("shrink nosuch.json --max-runs 0");
+  EXPECT_NE(shrink.output.find("out of range"), std::string::npos) << shrink.output;
+}
+
+TEST_F(CliTest, FuzzFindsShrinksAndSavesReplayableArtifact) {
+  const std::string artifacts = (dir_ / "artifacts").string();
+  const CommandResult fuzz = RunCliStdout(
+      "fuzz --bug NSS-329072 --seed 7 --schedules 4 --plateau 4 --shrink-runs 10 "
+      "--max-cycles 5000000 --artifacts " + artifacts + " --json -");
+  ASSERT_EQ(fuzz.exit_code, 0) << fuzz.output;
+  ExpectSingleJsonDocument(fuzz.output);
+  EXPECT_NE(fuzz.output.find("\"kind\":\"kivati_fuzz\""), std::string::npos);
+  EXPECT_NE(fuzz.output.find("\"schedules_run\":4"), std::string::npos) << fuzz.output;
+  EXPECT_NE(fuzz.output.find("\"replay_ok\":true"), std::string::npos)
+      << "no replayable discovery: " << fuzz.output;
+  EXPECT_NE(fuzz.output.find("\"errors\":[]"), std::string::npos) << fuzz.output;
+
+  // The saved artifact is a normal repro: `kivati replay` accepts it and
+  // replays the minimized trace loosely.
+  ASSERT_TRUE(std::filesystem::exists(artifacts));
+  std::string artifact;
+  for (const auto& entry : std::filesystem::directory_iterator(artifacts)) {
+    artifact = entry.path().string();
+    break;
+  }
+  ASSERT_FALSE(artifact.empty()) << "fuzz saved no artifact";
+  const CommandResult replay = RunCli("replay " + artifact);
+  EXPECT_EQ(replay.exit_code, 0) << replay.output;
+  EXPECT_NE(replay.output.find("loose"), std::string::npos) << replay.output;
+}
+
 TEST_F(CliTest, RunBugSelectsCorpusEntryAndValidatesNames) {
   const CommandResult result = RunCliStdout(
       "run --bug nss-329072 --mode bug-finding --seed 17 --pause-ms 50 "

@@ -193,6 +193,91 @@ TEST(ShrinkTest, ShrinksNssBugToReproducingSubset) {
   EXPECT_TRUE(found) << "shrunk trace lost the target violation";
 }
 
+// Loose replay must treat an empty runnable set as the no-decision fallback
+// and leave the choice stream untouched: Machine::PopRunnable never consults
+// the controller for <2 runnable threads, so a decision consumed there would
+// silently shift every later pick by one.
+TEST(ShrinkTest, LooseReplaySkipsEmptyRunnableSetWithoutConsuming) {
+  ScheduleTrace trace;
+  trace.shrunk = true;
+  trace.decisions = {
+      {SchedDecisionKind::kPick, /*value=*/5, /*choices=*/3, /*subject=*/1, /*instr=*/10},
+      {SchedDecisionKind::kPick, /*value=*/1, /*choices=*/2, /*subject=*/0, /*instr=*/20},
+  };
+  ScheduleController ctl(trace, ScheduleController::Mode::kReplayLoose);
+
+  // Degenerate call with no runnable threads: fall back, consume nothing.
+  EXPECT_EQ(ctl.ReplayPick(nullptr, 0, 5), 0u);
+  EXPECT_EQ(ctl.decisions_consumed(), 0u);
+
+  // The stream is intact, so the remaining decisions still line up:
+  // 5 % 4 = 1, then 1 % 2 = 1, then exhausted -> deterministic 0.
+  const ThreadId runnable[4] = {0, 1, 2, 3};
+  EXPECT_EQ(ctl.ReplayPick(runnable, 4, 10), 1u);
+  EXPECT_EQ(ctl.decisions_consumed(), 1u);
+  EXPECT_EQ(ctl.ReplayPick(runnable, 0, 15), 0u);  // again mid-stream
+  EXPECT_EQ(ctl.decisions_consumed(), 1u);
+  EXPECT_EQ(ctl.ReplayPick(runnable, 2, 20), 1u);
+  EXPECT_EQ(ctl.ReplayPick(runnable, 3, 30), 0u);  // exhausted fallback
+  EXPECT_FALSE(ctl.ReplayPause(0, 40));            // exhausted fallback
+}
+
+// Budget accounting: a shrink that converges to 1-minimality on exactly its
+// last allowed run must not be reported as budget-exhausted, and rerunning
+// with that exact budget must reproduce the same minimized trace.
+TEST(ShrinkTest, ConvergenceOnFinalRunIsNotBudgetExhausted) {
+  const exp::RunSpec base = BugSpec("NSS-329072", 5'000'000);
+  Recorded rec = RecordRun(base);
+  const exp::ReproArtifact artifact =
+      exp::MakeReproArtifact(base, *rec.trace, rec.run.engine->trace().violations());
+  ASSERT_TRUE(artifact.has_target);
+
+  exp::ShrinkOptions generous;
+  generous.max_runs = 500;
+  const exp::ShrinkResult full = exp::ShrinkSchedule(artifact, generous);
+  ASSERT_TRUE(full.reproduced);
+  ASSERT_FALSE(full.budget_exhausted);
+  ASSERT_GT(full.runs, 0u);
+  ASSERT_LT(full.runs, generous.max_runs) << "raise the generous budget";
+
+  // Exactly the number of runs convergence needed: same result, and the
+  // coincidence of budget==runs must not flip budget_exhausted.
+  exp::ShrinkOptions exact;
+  exact.max_runs = full.runs;
+  const exp::ShrinkResult again = exp::ShrinkSchedule(artifact, exact);
+  EXPECT_TRUE(again.reproduced);
+  EXPECT_FALSE(again.budget_exhausted);
+  EXPECT_EQ(again.runs, full.runs);
+  EXPECT_EQ(again.trace.decisions, full.trace.decisions);
+}
+
+// A genuinely insufficient budget reports exhaustion and still returns a
+// best-so-far trace that reproduces the target.
+TEST(ShrinkTest, ExhaustedBudgetReturnsReproducingBestSoFar) {
+  const exp::RunSpec base = BugSpec("NSS-329072", 5'000'000);
+  Recorded rec = RecordRun(base);
+  const exp::ReproArtifact artifact =
+      exp::MakeReproArtifact(base, *rec.trace, rec.run.engine->trace().violations());
+  ASSERT_TRUE(artifact.has_target);
+
+  exp::ShrinkOptions tight;
+  tight.max_runs = 5;
+  const exp::ShrinkResult result = exp::ShrinkSchedule(artifact, tight);
+  ASSERT_TRUE(result.reproduced);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_EQ(result.runs, tight.max_runs);
+
+  exp::RunSpec spec = base;
+  spec.replay_schedule = std::make_shared<const ScheduleTrace>(result.trace);
+  exp::BuiltRun replay = exp::BuildEngine(spec);
+  replay.engine->Run(spec.budget);
+  bool found = false;
+  for (const ViolationRecord& v : replay.engine->trace().violations()) {
+    found = found || exp::MatchesTarget(artifact.target, v);
+  }
+  EXPECT_TRUE(found) << "best-so-far trace lost the target violation";
+}
+
 // A violation witnessed under the same AR id and pattern classifies as the
 // target; a different pattern or address does not.
 TEST(ShrinkTest, TargetMatchingIsByArPatternAndAddress) {

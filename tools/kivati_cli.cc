@@ -25,6 +25,12 @@
 //   kivati shrink FILE [options]    minimize a recorded schedule while it
 //                                   still reproduces its target violation
 //                                   (delta debugging; docs/replay.md)
+//   kivati fuzz FILE [options]      coverage-guided schedule fuzzing: explore
+//   kivati fuzz --bug NAME [opts]   interleavings with PCT / bounded-preempt
+//                                   strategies until coverage plateaus,
+//                                   auto-shrink every discovered violation
+//                                   into a replayable repro artifact, and
+//                                   emit a JSON fuzz report (docs/fuzzing.md)
 //   kivati bench-interp [options]   interpreter throughput benchmark:
 //                                   simulated Mcycles/s per app × config,
 //                                   optimized and reference loop side by
@@ -78,6 +84,24 @@
 //                                   writes to stdout
 //   --verbose                       log every accepted reduction
 //
+// Options for fuzz (plus the run config/single-run options; --seed is the
+// fuzz root seed, --mode defaults to bug-finding, and --max-cycles defaults
+// to 10M — bug workloads run to their budget, so candidates stay cheap):
+//   --schedules N                   candidate-schedule budget (default 256)
+//   --plateau N                     stop after N consecutive schedules with
+//                                   no new coverage (default 64)
+//   --strategy mix|pct|preempt      schedule generation: mix alternates PCT
+//                                   and bounded preemption (default mix)
+//   --pct-depth N                   PCT priority-change points (default 3)
+//   --preempt-bound N               preemptions per schedule (default 3)
+//   --pause-prob X                  PCT bug-finding pause probability
+//                                   (default 0.5)
+//   --shrink-runs N                 per-discovery shrink budget (default 300)
+//   --artifacts DIR                 save each discovery's shrunk repro
+//                                   artifact under DIR
+//   --jobs N  /  -j N               worker threads (default: all host cores)
+//   --json FILE                     write the fuzz report ('-' = stdout)
+//
 // Options for analyze:
 //   --threads f[:arg][,...]         thread roots for the conflict analysis
 //                                   (default: assume every function may run
@@ -129,6 +153,7 @@
 #include "compile/compiler.h"
 #include "core/engine.h"
 #include "core/trainer.h"
+#include "exp/fuzz.h"
 #include "exp/optparse.h"
 #include "exp/repro.h"
 #include "exp/run_record.h"
@@ -174,6 +199,16 @@ struct CliOptions {
   std::string record_schedule_path;   // run/sweep --record-schedule FILE
   std::string out_path;               // shrink --out FILE
   std::size_t max_runs = 300;         // shrink candidate budget
+
+  // Fuzz (docs/fuzzing.md).
+  std::size_t fuzz_schedules = 256;
+  std::size_t fuzz_plateau = 64;
+  std::string fuzz_strategy = "mix";
+  unsigned pct_depth = 3;
+  unsigned preempt_bound = 3;
+  double pause_probability = 0.5;
+  std::size_t shrink_runs = 300;      // fuzz per-discovery shrink budget
+  std::string artifact_dir;           // fuzz --artifacts DIR
 
   // Sweep grid dimensions.
   std::vector<std::string> apps;
@@ -347,6 +382,51 @@ exp::OptionTable ShrinkTable(CliOptions& options) {
   table.Size("--max-runs", &options.max_runs, "candidate-run budget", 1);
   table.String("--json", &options.json_path, "machine-readable shrink summary ('-' = stdout)");
   table.Flag("--verbose", &options.verbose, "log every accepted reduction");
+  return table;
+}
+
+exp::OptionTable FuzzTable(CliOptions& options) {
+  exp::OptionTable table;
+  AddConfigOptions(table, options);
+  AddSingleRunOptions(table, options);
+  table.Value("--bug", "corpus bug to fuzz (e.g. NSS-329072)", [&options](const std::string& value) {
+    if (exp::FindCorpusBug(value) == nullptr) {
+      std::string known;
+      for (const std::string& name : exp::CorpusBugNames()) {
+        known += (known.empty() ? "" : ", ") + name;
+      }
+      return "--bug: unknown bug '" + value + "' (known: " + known + ")";
+    }
+    options.bug = value;
+    return std::string();
+  });
+  table.Size("--schedules", &options.fuzz_schedules, "candidate-schedule budget", 1);
+  table.Size("--plateau", &options.fuzz_plateau,
+             "stop after N schedules with no new coverage", 1);
+  table.Value("--strategy", "mix|pct|preempt", [&options](const std::string& value) {
+    FuzzStrategyKind kind;
+    if (value != "mix" && !ParseStrategyKind(value, &kind)) {
+      return "--strategy: unknown strategy '" + value + "' (mix, pct, preempt)";
+    }
+    options.fuzz_strategy = value;
+    return std::string();
+  });
+  table.Unsigned("--pct-depth", &options.pct_depth, "PCT priority-change points", 0, 1024);
+  table.Unsigned("--preempt-bound", &options.preempt_bound, "preemptions per schedule", 0,
+                 1024);
+  table.Double("--pause-prob", &options.pause_probability, "pause probability", 0.0, 1.0);
+  table.Size("--shrink-runs", &options.shrink_runs, "per-discovery shrink budget", 1);
+  table.String("--artifacts", &options.artifact_dir, "save shrunk repro artifacts under DIR");
+  table.Unsigned("--jobs", &options.jobs, "worker threads (default: host cores)", 1, 1024);
+  table.Value("-j", "worker threads", [&options](const std::string& value) {
+    std::uint64_t parsed = 0;
+    if (!exp::ParseU64(value, &parsed) || parsed == 0 || parsed > 1024) {
+      return "-j: '" + value + "' is not a worker count in [1, 1024]";
+    }
+    options.jobs = static_cast<unsigned>(parsed);
+    return std::string();
+  });
+  table.String("--json", &options.json_path, "write the fuzz report ('-' = stdout)");
   return table;
 }
 
@@ -556,10 +636,15 @@ exp::OptionTable BenchInterpTable(CliOptions& options) {
 CliOptions ParseArgs(int argc, char** argv) {
   CliOptions options;
   if (argc < 2) {
-    Fail("usage: kivati annotate|analyze|run|train|sweep|replay|shrink|bench-interp "
+    Fail("usage: kivati annotate|analyze|run|train|sweep|replay|shrink|fuzz|bench-interp "
          "[FILE] [options] (see the header comment)");
   }
   options.command = argv[1];
+  // Fuzzing explores interleavings; pausing threads inside atomic regions is
+  // how the paper widens violation windows, so bug-finding is the default.
+  if (options.command == "fuzz") {
+    options.mode = KivatiMode::kBugFinding;
+  }
   int first_option = 2;
   const bool needs_file = options.command == "annotate" || options.command == "train" ||
                           options.command == "replay" || options.command == "shrink";
@@ -570,7 +655,7 @@ CliOptions ParseArgs(int argc, char** argv) {
     options.file = argv[2];
     first_option = 3;
   } else if (options.command == "sweep" || options.command == "analyze" ||
-             options.command == "run") {
+             options.command == "run" || options.command == "fuzz") {
     // These take an optional source FILE; --apps / --app / --bug is the
     // alternative workload source.
     if (argc >= 3 && argv[2][0] != '-') {
@@ -594,6 +679,8 @@ CliOptions ParseArgs(int argc, char** argv) {
     table = ReplayTable(options);
   } else if (options.command == "shrink") {
     table = ShrinkTable(options);
+  } else if (options.command == "fuzz") {
+    table = FuzzTable(options);
   } else if (options.command == "bench-interp") {
     table = BenchInterpTable(options);
   } else {
@@ -603,12 +690,13 @@ CliOptions ParseArgs(int argc, char** argv) {
   if (!error.empty()) {
     Fail(error);
   }
-  if (options.command == "run") {
+  if (options.command == "run" || options.command == "fuzz") {
     if (options.file.empty() && options.bug.empty()) {
-      Fail("usage: kivati run FILE [options] | kivati run --bug NAME [options]");
+      Fail("usage: kivati " + options.command + " FILE [options] | kivati " + options.command +
+           " --bug NAME [options]");
     }
     if (!options.file.empty() && !options.bug.empty()) {
-      Fail("run takes either a source FILE or --bug, not both");
+      Fail(options.command + " takes either a source FILE or --bug, not both");
     }
   }
   // analyze without --threads keeps its sound every-function-concurrent
@@ -953,6 +1041,61 @@ int Shrink(const CliOptions& options) {
   return result.reproduced ? 0 : 1;
 }
 
+int FuzzCommand(const CliOptions& options) {
+  exp::RunSpec spec = SpecFromOptions(options);
+  // Corpus bug workloads run to their cycle budget; the single-run default
+  // of 200M cycles would make each candidate cost ~10s of wall clock. 10M
+  // is the replay-test budget and ample for every Table-6 bug to fire.
+  spec.budget = options.max_cycles.value_or(10'000'000);
+  exp::FuzzOptions fuzz;
+  fuzz.max_schedules = options.fuzz_schedules;
+  fuzz.plateau = options.fuzz_plateau;
+  fuzz.seed = options.seed;
+  fuzz.strategy = options.fuzz_strategy;
+  fuzz.pct_depth = options.pct_depth;
+  fuzz.preempt_bound = options.preempt_bound;
+  fuzz.pause_probability = options.pause_probability;
+  fuzz.workers = options.jobs;
+  fuzz.shrink_max_runs = options.shrink_runs;
+  fuzz.artifact_dir = options.artifact_dir;
+  if (options.verbose) {
+    fuzz.progress = [](const std::string& line) {
+      std::fprintf(stderr, "fuzz: %s\n", line.c_str());
+    };
+  }
+  const exp::FuzzReport report = exp::Fuzz(spec, fuzz);
+
+  // Keep stdout pure JSON under `--json -`.
+  FILE* human = options.json_path == "-" ? stderr : stdout;
+  std::fprintf(human, "fuzz: %zu/%zu schedule(s) (%s), coverage %zu, %zu violating run(s), "
+                      "%zu unique violation(s)\n",
+               report.schedules_run, report.max_schedules,
+               report.stopped_on_plateau ? "coverage plateau" : "schedule budget",
+               report.coverage_points, report.schedules_with_violations,
+               report.discoveries.size());
+  for (const exp::FuzzDiscovery& d : report.discoveries) {
+    std::fprintf(human,
+                 "  AR %u %s @0x%llx: schedule %zu (%s seed %llu), shrunk %zu -> %zu "
+                 "decision(s), replay %s%s%s\n",
+                 d.target.ar, d.target.pattern.c_str(),
+                 static_cast<unsigned long long>(d.target.addr), d.schedule_index,
+                 d.strategy.c_str(), static_cast<unsigned long long>(d.strategy_seed),
+                 d.trace_decisions, d.shrunk_decisions, d.replay_ok ? "ok" : "FAILED",
+                 d.artifact_path.empty() ? "" : ", saved ",
+                 d.artifact_path.c_str());
+  }
+  for (const std::string& error : report.errors) {
+    std::fprintf(stderr, "fuzz: ERROR %s\n", error.c_str());
+  }
+  if (!options.json_path.empty()) {
+    WriteJsonOutput(options.json_path, exp::FuzzReportJson(report));
+    if (options.json_path != "-") {
+      std::fprintf(human, "report written to %s\n", options.json_path.c_str());
+    }
+  }
+  return report.errors.empty() ? 0 : 1;
+}
+
 int BenchInterp(const CliOptions& options) {
   if (options.fast_only && options.reference_only) {
     Fail("bench-interp takes at most one of --fast-only / --reference-only");
@@ -1142,6 +1285,9 @@ int Main(int argc, char** argv) {
     }
     if (options.command == "shrink") {
       return Shrink(options);
+    }
+    if (options.command == "fuzz") {
+      return FuzzCommand(options);
     }
     if (options.command == "bench-interp") {
       return BenchInterp(options);
