@@ -7,6 +7,7 @@
 #include <set>
 
 #include "analysis/lockset.h"
+#include "common/report_envelope.h"
 
 namespace kivati {
 namespace {
@@ -466,7 +467,7 @@ std::string FormatConflictReport(const ConflictReport& report,
 std::string ConflictReportJson(const ConflictReport& report,
                                const std::vector<ArDebugInfo>& infos) {
   char buf[128];
-  std::string out = "{\"kind\":\"kivati_analyze\",\"schema_version\":1,";
+  std::string out = report::EnvelopePrefix({"kivati_analyze", 1});
   std::snprintf(buf, sizeof(buf),
                 "\"ars_total\":%zu,\"watch_required\":%zu,\"lock_protected\":%zu,"
                 "\"no_remote_writer\":%zu,\"pruned\":%zu,\"ars\":[\n",

@@ -1,5 +1,6 @@
 #include "compile/compiler.h"
 
+#include "analysis/lockset.h"
 #include "analysis/mir_builder.h"
 #include "compile/codegen.h"
 #include "lang/parser.h"
@@ -41,6 +42,9 @@ CompiledProgram Compile(const TranslationUnit& unit, const CompileOptions& optio
       out.initializers.emplace_back(global.addr,
                                     static_cast<std::uint64_t>(global.init_value));
     }
+  }
+  for (const int global : ComputeLockSummaries(module).trusted_locks) {
+    out.lock_addrs.insert(module.globals[static_cast<std::size_t>(global)].addr);
   }
   out.sync_ars = std::move(annotations.sync_ars);
   out.ar_infos = std::move(annotations.infos);

@@ -43,6 +43,10 @@ struct CompiledProgram {
   std::vector<std::pair<Addr, std::uint64_t>> initializers;
   // AR ids over synchronization variables (feed optimization 4's whitelist).
   std::unordered_set<ArId> sync_ars;
+  // Addresses of the trusted lock globals (analysis/lockset.h: used only via
+  // lock()/unlock()). Detector backends (src/detect) seed their lock model
+  // from these so the first acquire is already classified as a sync access.
+  std::unordered_set<Addr> lock_addrs;
   // Debug info for every AR, indexed by (id - 1).
   std::vector<ArDebugInfo> ar_infos;
   std::size_t num_ars = 0;

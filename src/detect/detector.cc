@@ -1,0 +1,64 @@
+#include "detect/detector.h"
+
+#include <sstream>
+
+#include "trace/report.h"
+
+namespace kivati {
+namespace detect {
+
+namespace {
+
+char TypeChar(AccessType type) { return type == AccessType::kWrite ? 'W' : 'R'; }
+
+}  // namespace
+
+std::string ToString(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.backend << " " << finding.kind << " addr=0x" << std::hex
+      << finding.addr << std::dec;
+  if (finding.ar != kInvalidAr) {
+    out << " ar=" << finding.ar;
+  }
+  out << " pattern=" << finding.pattern << " t" << finding.first_thread << "@pc="
+      << finding.first_pc << "(" << TypeChar(finding.first) << ") vs t"
+      << finding.second_thread << "@pc=" << finding.second_pc << "("
+      << TypeChar(finding.second) << ") @" << finding.when;
+  return out.str();
+}
+
+std::set<Addr> FindingAddrs(const Detector& detector,
+                            const std::set<std::string>& kinds) {
+  std::set<Addr> addrs;
+  for (const Finding& finding : detector.findings()) {
+    if (kinds.empty() || kinds.count(finding.kind) != 0) {
+      addrs.insert(finding.addr);
+    }
+  }
+  return addrs;
+}
+
+KivatiTraceDetector::KivatiTraceDetector(const Trace& trace) {
+  for (const ViolationRecord& v : trace.violations()) {
+    Finding finding;
+    finding.backend = "kivati";
+    finding.kind = "atomicity-violation";
+    finding.addr = v.addr;
+    finding.size = v.size;
+    finding.ar = v.ar_id;
+    finding.first_thread = v.local_thread;
+    finding.first_pc = v.first_pc;
+    finding.first = v.first;
+    finding.second_thread = v.remote_thread;
+    finding.second_pc = v.remote_pc;
+    finding.second = v.remote;
+    finding.when = v.when;
+    finding.pattern = ViolationPattern(v);
+    findings_.push_back(std::move(finding));
+  }
+  const RuntimeStats& stats = trace.stats();
+  stats_.overhead_ops = stats.kernel_entries_total() + stats.watchpoint_traps;
+}
+
+}  // namespace detect
+}  // namespace kivati

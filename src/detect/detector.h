@@ -1,0 +1,107 @@
+// The common detector-backend interface (docs/detectors.md).
+//
+// Kivati's watchpoint pipeline and the happens-before/lockset oracle
+// (hb_detector.h) are different detection technologies with different cost
+// models; this header gives them one report vocabulary so experiment
+// harnesses (kivati compare, src/exp) can tabulate them side by side:
+//
+//  * Finding — one detected problem, normalized across backends.
+//  * DetectorStats — simulated work counters; overhead_ops is each backend's
+//    own unit of per-run detection work (kernel crossings + traps for
+//    Kivati, shadow-memory + sync operations for HB), the numerator of the
+//    compare command's overhead ratio.
+//  * Detector — read-side interface every backend implements.
+//  * KivatiTraceDetector — adapter presenting a completed Kivati run (its
+//    ViolationRecords and RuntimeStats counters) as a Detector.
+#ifndef KIVATI_DETECT_DETECTOR_H_
+#define KIVATI_DETECT_DETECTOR_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace kivati {
+namespace detect {
+
+// One detected problem. `first` is the earlier access of the conflicting
+// pair (for Kivati, the local access opening the atomic region), `second`
+// the access whose arrival triggered the report (for Kivati, the violating
+// remote access).
+struct Finding {
+  std::string backend;  // "kivati" | "hb"
+  // "atomicity-violation" (Kivati), "hb-race" (vector-clock proven),
+  // "lockset-only" (raw Eraser lockset empty but HB-ordered — the classic
+  // lockset false-positive class).
+  std::string kind;
+  Addr addr = kInvalidAddr;  // shared variable address
+  unsigned size = 0;
+  ArId ar = kInvalidAr;  // Kivati findings only
+
+  ThreadId first_thread = kInvalidThread;
+  ProgramCounter first_pc = 0;
+  AccessType first = AccessType::kRead;
+
+  ThreadId second_thread = kInvalidThread;
+  ProgramCounter second_pc = 0;
+  AccessType second = AccessType::kRead;
+
+  Cycles when = 0;       // virtual time of the triggering access
+  std::string pattern;   // "R-W-W" (Kivati, ViolationPattern) or "W-W" etc.
+};
+
+std::string ToString(const Finding& finding);
+
+// Cumulative per-run work counters. All simulated (deterministic).
+struct DetectorStats {
+  // Shared-data accesses the backend inspected (HB backends see every one;
+  // Kivati's is 0 — it only pays on annotations and traps, which is the
+  // point of the comparison).
+  std::uint64_t accesses_observed = 0;
+  // Shadow-memory work: vector-clock slots compared/updated plus lockset
+  // intersection elements, summed over all accesses.
+  std::uint64_t shadow_ops = 0;
+  // Synchronization edges processed (acquire, release, spawn, join).
+  std::uint64_t sync_ops = 0;
+  // The backend's total simulated detection work in its own units — see the
+  // header comment. Filled by each backend's stats() accessor.
+  std::uint64_t overhead_ops = 0;
+};
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+  virtual const char* name() const = 0;
+  virtual const std::vector<Finding>& findings() const = 0;
+  virtual const DetectorStats& stats() const = 0;
+};
+
+// Unique addresses with at least one finding whose kind is in `kinds`
+// (empty = all kinds). The compare command's unit of "bugs found": findings
+// are deduplicated per backend to the shared variables they implicate.
+std::set<Addr> FindingAddrs(const Detector& detector,
+                            const std::set<std::string>& kinds = {});
+
+// Adapter over a finished run's Trace: one Finding per ViolationRecord
+// (backend "kivati", kind "atomicity-violation", pattern via the canonical
+// ViolationPattern), overhead_ops = kernel crossings + watchpoint traps.
+class KivatiTraceDetector : public Detector {
+ public:
+  explicit KivatiTraceDetector(const Trace& trace);
+
+  const char* name() const override { return "kivati"; }
+  const std::vector<Finding>& findings() const override { return findings_; }
+  const DetectorStats& stats() const override { return stats_; }
+
+ private:
+  std::vector<Finding> findings_;
+  DetectorStats stats_;
+};
+
+}  // namespace detect
+}  // namespace kivati
+
+#endif  // KIVATI_DETECT_DETECTOR_H_

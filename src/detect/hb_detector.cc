@@ -1,0 +1,238 @@
+#include "detect/hb_detector.h"
+
+namespace kivati {
+namespace detect {
+
+namespace {
+
+char TypeChar(AccessType type) { return type == AccessType::kWrite ? 'W' : 'R'; }
+
+ProgramCounter PcAt(const std::vector<ProgramCounter>& pcs, ThreadId tid) {
+  return tid < pcs.size() ? pcs[tid] : 0;
+}
+
+void SetPc(std::vector<ProgramCounter>& pcs, ThreadId tid, ProgramCounter pc) {
+  if (pcs.size() <= tid) {
+    pcs.resize(tid + 1, 0);
+  }
+  pcs[tid] = pc;
+}
+
+}  // namespace
+
+HbLocksetDetector::HbLocksetDetector(HbDetectorOptions options)
+    : options_(std::move(options)), lock_addrs_(options_.lock_addrs) {}
+
+HbLocksetDetector::ThreadState& HbLocksetDetector::Thread(ThreadId tid) {
+  if (threads_.size() <= tid) {
+    threads_.resize(tid + 1);
+  }
+  ThreadState& t = threads_[tid];
+  if (!t.started) {
+    // A thread's first component: its own time starts at 1. Threads first
+    // seen without a spawn edge (the workload's root threads) are mutually
+    // unordered, which is exactly right — the harness starts them all.
+    t.clock.Set(tid, 1);
+    t.started = true;
+  }
+  return t;
+}
+
+void HbLocksetDetector::OnEvent(const TraceEvent& event) {
+  switch (event.kind) {
+    case EventKind::kThreadSpawn:
+      OnSpawn(event);
+      break;
+    case EventKind::kThreadJoin:
+      OnJoin(event);
+      break;
+    case EventKind::kSharedRead:
+      OnAccess(event, AccessType::kRead);
+      break;
+    case EventKind::kSharedWrite:
+      OnAccess(event, AccessType::kWrite);
+      break;
+    default:
+      break;
+  }
+}
+
+void HbLocksetDetector::OnSpawn(const TraceEvent& event) {
+  const ThreadId parent_tid = event.thread;
+  const ThreadId child_tid = static_cast<ThreadId>(event.detail);
+  Thread(parent_tid);
+  Thread(child_tid);  // may reallocate threads_: take references after both
+  ThreadState& parent = threads_[parent_tid];
+  ThreadState& child = threads_[child_tid];
+  stats_.shadow_ops += child.clock.Join(parent.clock);
+  parent.clock.Tick(parent_tid);
+  ++stats_.sync_ops;
+}
+
+void HbLocksetDetector::OnJoin(const TraceEvent& event) {
+  const ThreadId joiner_tid = event.thread;
+  const ThreadId target_tid = static_cast<ThreadId>(event.detail);
+  Thread(joiner_tid);
+  Thread(target_tid);
+  ThreadState& joiner = threads_[joiner_tid];
+  ThreadState& target = threads_[target_tid];
+  stats_.shadow_ops += joiner.clock.Join(target.clock);
+  target.clock.Tick(target_tid);
+  ++stats_.sync_ops;
+}
+
+bool HbLocksetDetector::HandleLockWord(const TraceEvent& event, AccessType type) {
+  const bool atomic = AccessDetailAtomic(event.detail);
+  if (atomic) {
+    // Dynamic lock discovery: any address touched by an atomic RMW is a
+    // sync object from now on (the static trusted set seeds lock_addrs_).
+    lock_addrs_.insert(event.addr);
+  }
+  if (lock_addrs_.count(event.addr) == 0) {
+    return false;
+  }
+  ThreadState& t = Thread(event.thread);
+  if (type == AccessType::kRead) {
+    if (atomic && event.value == 0) {
+      // xchg read the free value: a successful test-and-set. Acquire edge:
+      // the thread inherits everything the last releaser had seen.
+      stats_.shadow_ops += t.clock.Join(lock_vc_[event.addr]);
+      t.held.insert(event.addr);
+      ++stats_.sync_ops;
+    }
+    // Plain reads (spin peeks) and failed acquires (read a 1) carry no edge.
+  } else {
+    if (!atomic && event.value == 0) {
+      // Plain store of the free value: release. Publish the thread's clock
+      // to the lock and advance so later local events are not released.
+      stats_.shadow_ops += lock_vc_[event.addr].Assign(t.clock);
+      t.clock.Tick(event.thread);
+      t.held.erase(event.addr);
+      ++stats_.sync_ops;
+    }
+    // The xchg's write half (storing 1) is part of the acquire: no edge.
+  }
+  return true;
+}
+
+void HbLocksetDetector::OnAccess(const TraceEvent& event, AccessType type) {
+  if (HandleLockWord(event, type)) {
+    return;
+  }
+  ++stats_.accesses_observed;
+  ThreadState& t = Thread(event.thread);
+  Shadow& shadow = shadow_[event.addr];
+  shadow.size = AccessDetailSize(event.detail);
+  HbCheck(shadow, event, type, t);
+  if (options_.lockset) {
+    LocksetCheck(shadow, event, type, t);
+  }
+}
+
+void HbLocksetDetector::HbCheck(Shadow& shadow, const TraceEvent& event,
+                                AccessType type, ThreadState& thread) {
+  const ThreadId tid = event.thread;
+  // A thread's own entries never exceed its current clock, so any witness
+  // FirstExceeding returns is a different, concurrent thread.
+  stats_.shadow_ops += shadow.write_vc.size();
+  ThreadId witness = shadow.write_vc.FirstExceeding(thread.clock);
+  AccessType prior = AccessType::kWrite;
+  if (type == AccessType::kWrite && witness == kInvalidThread) {
+    stats_.shadow_ops += shadow.read_vc.size();
+    witness = shadow.read_vc.FirstExceeding(thread.clock);
+    prior = AccessType::kRead;
+  }
+  if (witness != kInvalidThread && !shadow.reported_hb) {
+    const std::vector<ProgramCounter>& pcs =
+        prior == AccessType::kWrite ? shadow.write_pc : shadow.read_pc;
+    Report("hb-race", shadow, event, type, witness, PcAt(pcs, witness), prior);
+    shadow.reported_hb = true;
+    ++hb_races_;
+  }
+  ++stats_.shadow_ops;
+  if (type == AccessType::kWrite) {
+    shadow.write_vc.Set(tid, thread.clock.Get(tid));
+    SetPc(shadow.write_pc, tid, event.pc);
+  } else {
+    shadow.read_vc.Set(tid, thread.clock.Get(tid));
+    SetPc(shadow.read_pc, tid, event.pc);
+  }
+}
+
+void HbLocksetDetector::LocksetCheck(Shadow& shadow, const TraceEvent& event,
+                                     AccessType type, const ThreadState& thread) {
+  const ThreadId tid = event.thread;
+  switch (shadow.ls_state) {
+    case LsState::kVirgin:
+      shadow.ls_state = LsState::kExclusive;
+      shadow.owner = tid;
+      break;
+    case LsState::kExclusive:
+      if (tid == shadow.owner) {
+        break;
+      }
+      // Second thread arrives: candidate set starts as its held locks.
+      shadow.candidate = thread.held;
+      shadow.ls_state =
+          type == AccessType::kWrite ? LsState::kSharedModified : LsState::kShared;
+      stats_.shadow_ops += thread.held.size();
+      break;
+    case LsState::kShared:
+    case LsState::kSharedModified:
+      stats_.shadow_ops += shadow.candidate.size() + thread.held.size();
+      for (auto it = shadow.candidate.begin(); it != shadow.candidate.end();) {
+        if (thread.held.count(*it) == 0) {
+          it = shadow.candidate.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (type == AccessType::kWrite) {
+        shadow.ls_state = LsState::kSharedModified;
+      }
+      break;
+  }
+  // Raw Eraser verdict: shared-modified with an empty candidate set. Only
+  // interesting when HB proved an ordering (otherwise the hb-race finding
+  // already covers the address): these are the lockset false positives.
+  if (shadow.ls_state == LsState::kSharedModified && shadow.candidate.empty() &&
+      !shadow.reported_lockset && !shadow.reported_hb) {
+    ProgramCounter prior_pc = PcAt(shadow.write_pc, shadow.owner);
+    AccessType prior = AccessType::kWrite;
+    if (prior_pc == 0) {
+      prior_pc = PcAt(shadow.read_pc, shadow.owner);
+      prior = AccessType::kRead;
+    }
+    Report("lockset-only", shadow, event, type, shadow.owner, prior_pc, prior);
+    shadow.reported_lockset = true;
+    ++lockset_only_;
+  }
+}
+
+void HbLocksetDetector::Report(const std::string& kind, const Shadow& shadow,
+                               const TraceEvent& event, AccessType type,
+                               ThreadId prior_thread, ProgramCounter prior_pc,
+                               AccessType prior_type) {
+  Finding finding;
+  finding.backend = "hb";
+  finding.kind = kind;
+  finding.addr = event.addr;
+  finding.size = shadow.size;
+  finding.first_thread = prior_thread;
+  finding.first_pc = prior_pc;
+  finding.first = prior_type;
+  finding.second_thread = event.thread;
+  finding.second_pc = event.pc;
+  finding.second = type;
+  finding.when = event.when;
+  finding.pattern = std::string(1, TypeChar(prior_type)) + "-" + TypeChar(type);
+  findings_.push_back(std::move(finding));
+}
+
+const DetectorStats& HbLocksetDetector::stats() const {
+  stats_.overhead_ops = stats_.shadow_ops + stats_.sync_ops;
+  return stats_;
+}
+
+}  // namespace detect
+}  // namespace kivati

@@ -1,0 +1,128 @@
+// Happens-before / lockset oracle over the access-level trace stream.
+//
+// The watchpoint-free comparison backend the paper argues against on cost
+// grounds (§5 related work: happens-before race detectors instrument every
+// shared access). It consumes kSharedRead/kSharedWrite/kThreadSpawn/
+// kThreadJoin events from a TraceHub and maintains classic dynamic-race
+// shadow state:
+//
+//  * per-thread and per-lock vector clocks, with acquire/release/spawn/join
+//    sync edges (acquire = atomic xchg reading 0 at a lock word, release =
+//    plain store of 0 — exactly how compile/codegen lowers lock()/unlock());
+//  * per-address read/write vector clocks for the happens-before check
+//    (a conflicting pair unordered by HB is a race: kind "hb-race");
+//  * the Eraser lockset state machine (virgin -> exclusive -> shared ->
+//    shared-modified, candidate-set intersection) run in parallel; an empty
+//    lockset on a shared-modified address that the vector clocks DID order
+//    is reported as kind "lockset-only" — the false-positive class HB
+//    refinement exists to suppress.
+//
+// Lock words come from the compiled program's trusted-lock set
+// (CompiledProgram::lock_addrs) plus any address dynamically used in an
+// atomic read-modify-write; lock words are sync objects, never data, so
+// they are excluded from both checks. Findings are deduplicated per
+// (address, kind): the first witness wins, matching how the compare command
+// counts bugs per shared variable.
+#ifndef KIVATI_DETECT_HB_DETECTOR_H_
+#define KIVATI_DETECT_HB_DETECTOR_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "detect/detector.h"
+#include "detect/vector_clock.h"
+#include "trace/event_log.h"
+#include "trace/sink.h"
+
+namespace kivati {
+namespace detect {
+
+struct HbDetectorOptions {
+  // Trusted lock addresses known statically (CompiledProgram::lock_addrs).
+  // Addresses xchg'd at runtime are added dynamically.
+  std::unordered_set<Addr> lock_addrs;
+  // Also run the raw Eraser lockset pass and report "lockset-only" findings
+  // (addresses with an empty lockset that HB nevertheless ordered).
+  bool lockset = true;
+};
+
+class HbLocksetDetector : public TraceSink, public Detector {
+ public:
+  explicit HbLocksetDetector(HbDetectorOptions options = {});
+
+  // TraceSink: subscribe to the access-level kinds.
+  std::uint32_t wants_mask() const override {
+    return kAccessEventKinds | kEventKindBit(EventKind::kThreadSpawn) |
+           kEventKindBit(EventKind::kThreadJoin);
+  }
+  void OnEvent(const TraceEvent& event) override;
+
+  // Detector.
+  const char* name() const override { return "hb"; }
+  const std::vector<Finding>& findings() const override { return findings_; }
+  const DetectorStats& stats() const override;
+
+  // Finding counts by kind, for reports.
+  std::size_t hb_races() const { return hb_races_; }
+  std::size_t lockset_only() const { return lockset_only_; }
+
+ private:
+  // Eraser's per-address sharing state.
+  enum class LsState : std::uint8_t { kVirgin, kExclusive, kShared, kSharedModified };
+
+  struct ThreadState {
+    VectorClock clock;
+    std::set<Addr> held;  // trusted locks currently held
+    bool started = false;
+  };
+
+  struct Shadow {
+    VectorClock read_vc;   // per-thread clock of its last read
+    VectorClock write_vc;  // per-thread clock of its last write
+    // Last pc per thread for each access type, parallel to the clocks
+    // (grown on demand), so reports name the actual prior conflicting site.
+    std::vector<ProgramCounter> read_pc;
+    std::vector<ProgramCounter> write_pc;
+    unsigned size = 0;
+    // Eraser state.
+    LsState ls_state = LsState::kVirgin;
+    ThreadId owner = kInvalidThread;
+    std::set<Addr> candidate;  // candidate lockset, valid once shared
+    bool reported_hb = false;
+    bool reported_lockset = false;
+  };
+
+  ThreadState& Thread(ThreadId tid);
+  void OnSpawn(const TraceEvent& event);
+  void OnJoin(const TraceEvent& event);
+  void OnAccess(const TraceEvent& event, AccessType type);
+  // Lock-word handling; returns true when the event was a sync access (and
+  // must not reach the data checks).
+  bool HandleLockWord(const TraceEvent& event, AccessType type);
+  void HbCheck(Shadow& shadow, const TraceEvent& event, AccessType type,
+               ThreadState& thread);
+  void LocksetCheck(Shadow& shadow, const TraceEvent& event, AccessType type,
+                    const ThreadState& thread);
+  void Report(const std::string& kind, const Shadow& shadow,
+              const TraceEvent& event, AccessType type, ThreadId prior_thread,
+              ProgramCounter prior_pc, AccessType prior_type);
+
+  HbDetectorOptions options_;
+  std::unordered_set<Addr> lock_addrs_;            // static ∪ dynamic
+  std::unordered_map<Addr, VectorClock> lock_vc_;  // release clocks
+  std::vector<ThreadState> threads_;
+  std::unordered_map<Addr, Shadow> shadow_;
+  std::vector<Finding> findings_;
+  std::size_t hb_races_ = 0;
+  std::size_t lockset_only_ = 0;
+  mutable DetectorStats stats_;  // stats() derives overhead_ops on read
+};
+
+}  // namespace detect
+}  // namespace kivati
+
+#endif  // KIVATI_DETECT_HB_DETECTOR_H_

@@ -1,0 +1,88 @@
+// Vector clocks for the happens-before detector backend (docs/detectors.md).
+//
+// A clock maps ThreadId -> logical time. Storage is a dense vector indexed by
+// tid (thread ids are small and dense in the simulator), growing on demand;
+// absent entries read as 0. Mutating and comparing operations return the
+// number of slots they touched so the detector can account simulated
+// per-access shadow work (the compare command's overhead metric).
+#ifndef KIVATI_DETECT_VECTOR_CLOCK_H_
+#define KIVATI_DETECT_VECTOR_CLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kivati {
+namespace detect {
+
+class VectorClock {
+ public:
+  std::uint64_t Get(ThreadId tid) const {
+    return tid < clock_.size() ? clock_[tid] : 0;
+  }
+
+  void Set(ThreadId tid, std::uint64_t value) {
+    Grow(tid + 1);
+    clock_[tid] = value;
+  }
+
+  void Tick(ThreadId tid) {
+    Grow(tid + 1);
+    ++clock_[tid];
+  }
+
+  // this := this ⊔ other (component-wise max). Returns slots touched.
+  std::size_t Join(const VectorClock& other) {
+    Grow(other.clock_.size());
+    for (std::size_t i = 0; i < other.clock_.size(); ++i) {
+      clock_[i] = std::max(clock_[i], other.clock_[i]);
+    }
+    return other.clock_.size();
+  }
+
+  // this := other. Returns slots touched.
+  std::size_t Assign(const VectorClock& other) {
+    clock_ = other.clock_;
+    return clock_.size();
+  }
+
+  // true iff this[u] <= other[u] for every thread u — i.e. every event this
+  // clock summarizes happens-before the point `other` describes.
+  bool LeqAll(const VectorClock& other) const {
+    for (std::size_t i = 0; i < clock_.size(); ++i) {
+      if (clock_[i] > other.Get(static_cast<ThreadId>(i))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // The first thread u with this[u] > other[u] (a witness that `this` is not
+  // ordered before `other`), or kInvalidThread when ordered.
+  ThreadId FirstExceeding(const VectorClock& other) const {
+    for (std::size_t i = 0; i < clock_.size(); ++i) {
+      if (clock_[i] > other.Get(static_cast<ThreadId>(i))) {
+        return static_cast<ThreadId>(i);
+      }
+    }
+    return kInvalidThread;
+  }
+
+  std::size_t size() const { return clock_.size(); }
+
+ private:
+  void Grow(std::size_t n) {
+    if (clock_.size() < n) {
+      clock_.resize(n, 0);
+    }
+  }
+
+  std::vector<std::uint64_t> clock_;
+};
+
+}  // namespace detect
+}  // namespace kivati
+
+#endif  // KIVATI_DETECT_VECTOR_CLOCK_H_

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "common/report_envelope.h"
 #include "common/rng.h"
 #include "exp/runner.h"
 #include "exp/shrink.h"
@@ -405,9 +406,7 @@ FuzzReport Fuzz(const RunSpec& spec, const FuzzOptions& options) {
 }
 
 std::string FuzzReportJson(const FuzzReport& report, bool include_wall_clock) {
-  std::string out = "{";
-  Append(out, "kind", std::string("kivati_fuzz"));
-  Append(out, "schema_version", std::uint64_t{1});
+  std::string out = report::EnvelopePrefix({"kivati_fuzz", 1});
   Append(out, "app", report.app);
   Append(out, "strategy", report.strategy);
   Append(out, "seed", report.seed);

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/report_envelope.h"
 #include "exp/run_record.h"
 #include "trace/report.h"
 
@@ -596,9 +597,7 @@ ReproArtifact MakeReproArtifact(const RunSpec& spec, const ScheduleTrace& trace,
 }
 
 std::string ToJson(const ReproArtifact& artifact) {
-  std::string out = "{";
-  Append(out, "kind", std::string("kivati_repro"));
-  Append(out, "schema_version", std::uint64_t{1});
+  std::string out = report::EnvelopePrefix({"kivati_repro", 1});
   out += "\"spec\":" + SpecJson(artifact.spec) + ",";
   Append(out, "violations", static_cast<std::uint64_t>(artifact.violations));
   if (artifact.has_target) {

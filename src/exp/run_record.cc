@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/report_envelope.h"
+
 namespace kivati {
 namespace exp {
 namespace {
@@ -162,8 +164,12 @@ bool ParseMode(const std::string& text, KivatiMode* out) {
   return true;
 }
 
-std::string ToJson(const RunRecord& record, bool include_wall_clock) {
-  std::string out = "{";
+namespace {
+
+// The record's fields without the surrounding braces, shared by the plain
+// object form (ToJson — sweep rows) and the enveloped report (RunReportJson).
+std::string RecordBodyJson(const RunRecord& record, bool include_wall_clock) {
+  std::string out;
   Append(out, "label", record.label);
   Append(out, "app", record.app);
   Append(out, "config", record.vanilla ? std::string("vanilla") : std::string(ToString(record.preset)));
@@ -173,7 +179,6 @@ std::string ToJson(const RunRecord& record, bool include_wall_clock) {
   Append(out, "seed", record.seed);
   if (!record.error.empty()) {
     Append(out, "error", record.error, /*comma=*/false);
-    out += "}";
     return out;
   }
   Append(out, "cycles", static_cast<std::uint64_t>(record.cycles));
@@ -196,19 +201,37 @@ std::string ToJson(const RunRecord& record, bool include_wall_clock) {
     }
     out += "],";
   }
+  if (record.hb_attached) {
+    out += "\"hb\":{";
+    Append(out, "races", static_cast<std::uint64_t>(record.hb_races));
+    Append(out, "lockset_only", static_cast<std::uint64_t>(record.hb_lockset_only));
+    Append(out, "accesses", record.hb_stats.accesses_observed);
+    Append(out, "shadow_ops", record.hb_stats.shadow_ops);
+    Append(out, "sync_ops", record.hb_stats.sync_ops);
+    Append(out, "overhead_ops", record.hb_stats.overhead_ops, /*comma=*/false);
+    out += "},";
+  }
   if (include_wall_clock) {
     Append(out, "wall_ms", record.wall_ms);
   }
   out += "\"stats\":" + StatsJson(record.stats);
-  out += "}";
   return out;
+}
+
+}  // namespace
+
+std::string ToJson(const RunRecord& record, bool include_wall_clock) {
+  return "{" + RecordBodyJson(record, include_wall_clock) + "}";
+}
+
+std::string RunReportJson(const RunRecord& record, bool include_wall_clock) {
+  return report::EnvelopePrefix({"kivati_run", 1}) +
+         RecordBodyJson(record, include_wall_clock) + "}";
 }
 
 std::string SweepReportJson(const std::vector<RunRecord>& records, unsigned workers,
                             double total_wall_ms, bool include_wall_clock) {
-  std::string out = "{";
-  Append(out, "kind", std::string("kivati_sweep"));
-  Append(out, "schema_version", std::uint64_t{2});
+  std::string out = report::EnvelopePrefix({"kivati_sweep", 2});
   Append(out, "runs_total", static_cast<std::uint64_t>(records.size()));
   if (include_wall_clock) {
     Append(out, "workers", static_cast<std::uint64_t>(workers));

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "detect/detector.h"
 #include "kernel/config.h"
 #include "sched/schedule_trace.h"
 #include "trace/trace.h"
@@ -46,6 +47,14 @@ struct RunRecord {
   std::size_t false_positive_ars = 0;  // unique violating ARs minus known bugs
   std::vector<Cycles> latencies;       // mark values for the spec's latency tag
 
+  // Happens-before oracle summary (RunSpec::hb_detector; docs/detectors.md).
+  // hb_attached distinguishes "ran and found nothing" from "not requested":
+  // the JSON record carries an "hb" object only when it is true.
+  bool hb_attached = false;
+  std::size_t hb_races = 0;          // HB-proven data races (deduped per addr)
+  std::size_t hb_lockset_only = 0;   // raw-Eraser-only findings (lockset FPs)
+  detect::DetectorStats hb_stats;
+
   // Host-side measurements; excluded by include_wall_clock=false.
   double wall_ms = 0.0;
 
@@ -53,6 +62,11 @@ struct RunRecord {
   // counts above (the fuzzer dedupes discoveries by AR/pattern/address).
   // Not part of the JSON record.
   std::vector<ViolationRecord> violation_records;
+
+  // Full HB-backend finding list when hb_attached (the compare harness
+  // classifies findings against the workload's known-buggy addresses).
+  // Not part of the JSON record.
+  std::vector<detect::Finding> hb_findings;
 
   // The recorded schedule when the spec asked for one (RunSpec::
   // record_schedule, or a guided fuzz run). Not part of the JSON record —
@@ -72,6 +86,11 @@ bool ParseMode(const std::string& text, KivatiMode* out);
 
 // One record as a JSON object.
 std::string ToJson(const RunRecord& record, bool include_wall_clock = true);
+
+// The record as a standalone report document: the common report envelope
+// ({"kind":"kivati_run","schema_version":1,...) around the same fields.
+// `kivati run --json` emits this.
+std::string RunReportJson(const RunRecord& record, bool include_wall_clock = true);
 
 // A full sweep report: {"kind":"kivati_sweep","workers":N,...,"runs":[...]}.
 std::string SweepReportJson(const std::vector<RunRecord>& records, unsigned workers,

@@ -210,6 +210,15 @@ BuiltRun BuildEngine(const RunSpec& spec, std::shared_ptr<const apps::App> app) 
   } else if (spec.guided_schedule != nullptr) {
     run.engine->GuideSchedule(spec.guided_schedule);
   }
+  if (spec.hb_detector) {
+    detect::HbDetectorOptions hb_options;
+    if (run.app->compiled != nullptr) {
+      hb_options.lock_addrs.insert(run.app->compiled->lock_addrs.begin(),
+                                   run.app->compiled->lock_addrs.end());
+    }
+    run.hb = std::make_unique<detect::HbLocksetDetector>(std::move(hb_options));
+    run.engine->trace().hub().Attach(run.hb.get());
+  }
   return run;
 }
 

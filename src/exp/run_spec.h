@@ -22,6 +22,7 @@
 #include "apps/bugs.h"
 #include "apps/workloads.h"
 #include "core/engine.h"
+#include "detect/hb_detector.h"
 
 namespace kivati {
 namespace exp {
@@ -78,6 +79,13 @@ struct RunSpec {
   // Collect SYS_MARK values with this tag into the record (0 = none).
   std::int64_t latency_tag = 0;
 
+  // Attach the happens-before/lockset oracle (src/detect, docs/detectors.md)
+  // to the run's trace hub. The detector subscribes to access-level events,
+  // which makes the interpreter collect every instruction's accesses — this
+  // is the "instrument everything" cost model Kivati is compared against
+  // (kivati compare); leave off for performance runs.
+  bool hb_detector = false;
+
   // Schedule record/replay (docs/replay.md) and guided fuzzing
   // (docs/fuzzing.md). At most one of the three: capture a ScheduleTrace
   // during the run (RunRecord::schedule), drive the scheduler from a
@@ -121,6 +129,10 @@ struct BuiltRun {
   std::shared_ptr<const apps::App> app;
   EngineOptions options;
   std::unique_ptr<Engine> engine;
+  // Present when the spec asked for the HB oracle; attached to the engine's
+  // trace hub. Declared after `engine` so it detaches (destruction order)
+  // while the hub is still alive.
+  std::unique_ptr<detect::HbLocksetDetector> hb;
 };
 
 // The single run-construction entry point. The second overload reuses an

@@ -48,7 +48,7 @@ AppKey KeyFor(const RunSpec& spec) {
 }  // namespace
 
 RunRecord MakeRecord(const RunSpec& spec, const apps::App& app, Engine& engine,
-                     const RunResult& result) {
+                     const RunResult& result, const detect::HbLocksetDetector* hb) {
   RunRecord record;
   record.label = spec.label.empty() ? SpecLabel(spec) : spec.label;
   record.app = app.workload.name;
@@ -82,6 +82,13 @@ RunRecord MakeRecord(const RunSpec& spec, const apps::App& app, Engine& engine,
       }
     }
   }
+  if (hb != nullptr) {
+    record.hb_attached = true;
+    record.hb_races = hb->hb_races();
+    record.hb_lockset_only = hb->lockset_only();
+    record.hb_stats = hb->stats();
+    record.hb_findings = hb->findings();
+  }
   return record;
 }
 
@@ -90,7 +97,7 @@ RunRecord Execute(const RunSpec& spec) {
   try {
     BuiltRun run = BuildEngine(spec);
     const RunResult result = run.engine->Run(spec.budget);
-    RunRecord record = MakeRecord(spec, *run.app, *run.engine, result);
+    RunRecord record = MakeRecord(spec, *run.app, *run.engine, result, run.hb.get());
     if (const ScheduleTrace* trace = run.engine->recorded_schedule()) {
       record.schedule = std::make_shared<const ScheduleTrace>(*trace);
     }

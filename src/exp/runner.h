@@ -23,9 +23,11 @@ namespace exp {
 RunRecord Execute(const RunSpec& spec);
 
 // Builds the record for an externally driven run (the CLI's `run` command
-// owns the Engine so it can also print reports and write traces).
+// owns the Engine so it can also print reports and write traces). Pass the
+// run's HB detector (BuiltRun::hb) to fill the record's hb_* summary.
 RunRecord MakeRecord(const RunSpec& spec, const apps::App& app, Engine& engine,
-                     const RunResult& result);
+                     const RunResult& result,
+                     const detect::HbLocksetDetector* hb = nullptr);
 
 struct RunnerOptions {
   // 0 -> std::thread::hardware_concurrency().

@@ -156,7 +156,9 @@ class KivatiKernel {
   void EndPausesOnWatchpoint(const WatchpointMeta& wp);
 
   RuntimeStats& stats() { return machine_.trace().stats(); }
-  EventLog& events() { return machine_.trace().events(); }
+  // All kernel emit sites stream through the hub so every attached sink
+  // (EventLog ring, detector backends) observes them.
+  TraceHub& events() { return machine_.trace().hub(); }
   Cycles TimeoutAt() const {
     return machine_.now() + machine_.costs().FromMs(config_.suspension_timeout_ms);
   }

@@ -44,7 +44,7 @@ void KivatiRuntime::Account(PathTaken path, std::uint64_t& crossing_counter,
 
 void KivatiRuntime::EmitAnnotationEvent(EventKind kind, ThreadId thread, ArId ar,
                                         Addr addr, PathTaken path) {
-  EventLog& log = machine_.trace().events();
+  TraceHub& log = machine_.trace().hub();
   if (!log.Wants(kind)) {
     return;
   }

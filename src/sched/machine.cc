@@ -284,12 +284,12 @@ void Machine::Reschedule(CoreId core, bool timer_interrupt) {
     if (!timer_interrupt) {
       c.clock += config_.costs.context_switch;
     }
-    if (trace_.events().Wants(EventKind::kContextSwitch)) {
-      trace_.events().Emit({.when = now_,
-                            .kind = EventKind::kContextSwitch,
-                            .thread = next,
-                            .slot = static_cast<std::int32_t>(core),
-                            .detail = static_cast<std::uint32_t>(prev)});
+    if (trace_.hub().Wants(EventKind::kContextSwitch)) {
+      trace_.hub().Emit({.when = now_,
+                         .kind = EventKind::kContextSwitch,
+                         .thread = next,
+                         .slot = static_cast<std::int32_t>(core),
+                         .detail = static_cast<std::uint32_t>(prev)});
     }
     if (hooks_ != nullptr) {
       hooks_->OnContextSwitch(core, prev, next);
@@ -665,6 +665,13 @@ void Machine::DoSyscall(CoreId core, ThreadContext& t, const Instruction& instr)
     case Syscall::kSpawn: {
       const ThreadId child = SpawnThread(t.regs[0], t.regs[1]);
       t.regs[0] = child;
+      if (trace_.hub().Wants(EventKind::kThreadSpawn)) {
+        trace_.hub().Emit({.when = now_,
+                           .kind = EventKind::kThreadSpawn,
+                           .thread = t.tid,
+                           .pc = current_instruction_pc_,
+                           .detail = static_cast<std::uint32_t>(child)});
+      }
       break;
     }
     case Syscall::kJoin: {
@@ -672,6 +679,12 @@ void Machine::DoSyscall(CoreId core, ThreadContext& t, const Instruction& instr)
       if (target < threads_.size() && thread(target).state != ThreadState::kDone) {
         t.state = ThreadState::kJoining;
         t.join_target = target;
+      } else if (target < threads_.size() && trace_.hub().Wants(EventKind::kThreadJoin)) {
+        // Target already exited: the join completes immediately.
+        trace_.hub().Emit({.when = now_,
+                           .kind = EventKind::kThreadJoin,
+                           .thread = t.tid,
+                           .detail = static_cast<std::uint32_t>(target)});
       }
       break;
     }
@@ -706,8 +719,44 @@ void Machine::ExitThread(ThreadId tid, std::uint64_t status) {
   }
   for (auto& other : threads_) {
     if (other->state == ThreadState::kJoining && other->join_target == tid) {
+      if (trace_.hub().Wants(EventKind::kThreadJoin)) {
+        trace_.hub().Emit({.when = now_,
+                           .kind = EventKind::kThreadJoin,
+                           .thread = other->tid,
+                           .detail = static_cast<std::uint32_t>(tid)});
+      }
       MakeRunnable(other->tid);
     }
+  }
+}
+
+void Machine::EmitAccessEvents(const ThreadContext& t, const Instruction& instr) {
+  const std::uint32_t mask = trace_.hub().mask();
+  // Lock acquisition compiles to an atomic read-modify-write (kXchg);
+  // detectors key lock inference off this flag.
+  const bool atomic_rmw = instr.op == Opcode::kXchg;
+  for (const MemAccess& access : access_scratch_) {
+    // Shared data only: globals and heap. Stacks (thread-private) and the
+    // Kivati replica page (runtime-internal) are architecturally invisible
+    // to other threads' program logic.
+    if (access.addr < kDataBase || access.addr >= kStackBase) {
+      continue;
+    }
+    const bool read = access.type == AccessType::kRead;
+    const EventKind kind = read ? EventKind::kSharedRead : EventKind::kSharedWrite;
+    if ((mask & kEventKindBit(kind)) == 0) {
+      continue;
+    }
+    // Reads report the value observed (captured pre-execution); writes
+    // report the committed value.
+    trace_.hub().Emit({.when = now_,
+                       .kind = kind,
+                       .thread = t.tid,
+                       .addr = access.addr,
+                       .pc = current_instruction_pc_,
+                       .detail = PackAccessDetail(access.size, atomic_rmw),
+                       .value = read ? access.old_value
+                                     : memory_.Read(access.addr, access.size)});
   }
 }
 
@@ -734,19 +783,26 @@ void Machine::ExecuteOne(CoreId core) {
   pending_extra_ = 0;
   Cycles cost = config_.costs.user_instruction;
 
+  // Access-level event sinks (the HB detector, --trace-events=access) need
+  // every instruction's access list with old values; the cached hub mask
+  // makes the check one load-and-test, and with no sink attached the fast
+  // loop below is untouched.
+  const bool access_events = (trace_.hub().mask() & kAccessEventKinds) != 0;
   bool collected = true;
   if (!config_.fast_loop) {
     CollectAccesses(t, instr, access_scratch_);
   } else {
-    // Fast loop: when no armed watchpoint exists on this core and address
-    // tracing is off, nobody observes the access list — skip building it
-    // (and the old-value memory reads) entirely. With watchpoints armed,
-    // collect but let MayMatch skip old-value capture for accesses outside
-    // the armed range hull.
+    // Fast loop: when no armed watchpoint exists on this core, address
+    // tracing is off and no sink wants access events, nobody observes the
+    // access list — skip building it (and the old-value memory reads)
+    // entirely. With watchpoints armed, collect but let MayMatch skip
+    // old-value capture for accesses outside the armed range hull (unless a
+    // consumer needs the values themselves).
     const bool tracing = config_.trace_addr != kInvalidAddr;
     const bool armed = hooks_ != nullptr && c.debug_regs.any_armed();
-    if (tracing || armed) {
-      CollectAccesses(t, instr, access_scratch_, tracing ? nullptr : &c.debug_regs);
+    if (tracing || armed || access_events) {
+      CollectAccesses(t, instr, access_scratch_,
+                      tracing || access_events ? nullptr : &c.debug_regs);
     } else {
       access_scratch_.clear();
       collected = false;
@@ -789,6 +845,9 @@ void Machine::ExecuteOne(CoreId core) {
     }
     ++t.instructions;
     ++instructions_executed_;
+    if (access_events && !access_scratch_.empty()) {
+      EmitAccessEvents(t, instr);
+    }
     if (config_.trap_delivery == TrapDelivery::kAfter && hooks_ != nullptr) {
       for (const MemAccess& access : access_scratch_) {
         const auto slot = c.debug_regs.Match(access.addr, access.size, access.type);

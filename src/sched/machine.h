@@ -262,6 +262,11 @@ class Machine {
   void DoSyscall(CoreId core, ThreadContext& t, const Instruction& instr);
   void ExitThread(ThreadId tid, std::uint64_t status);
 
+  // Streams the committed shared-data accesses of the current instruction as
+  // kSharedRead/kSharedWrite events (trace/sink.h; only called when a sink
+  // wants access-level kinds).
+  void EmitAccessEvents(const ThreadContext& t, const Instruction& instr);
+
   Addr EffectiveAddress(const ThreadContext& t, const MemOperand& mem) const {
     const std::uint64_t base = mem.base == kNoReg ? 0 : ReadReg(t, mem.base);
     return base + static_cast<std::uint64_t>(mem.offset);

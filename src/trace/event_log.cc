@@ -26,6 +26,10 @@ constexpr KindName kKindNames[] = {
     {EventKind::kSyncStall, "sync_stall"},
     {EventKind::kViolation, "violation"},
     {EventKind::kContextSwitch, "ctx_switch"},
+    {EventKind::kSharedRead, "shared_read"},
+    {EventKind::kSharedWrite, "shared_write"},
+    {EventKind::kThreadSpawn, "thread_spawn"},
+    {EventKind::kThreadJoin, "thread_join"},
 };
 static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) == kEventKindCount,
               "every EventKind needs a name");
@@ -53,6 +57,9 @@ void AppendJsonObject(std::ostringstream& out, const TraceEvent& e) {
   if (e.duration != 0) {
     out << ",\"dur\":" << e.duration;
   }
+  if (e.value != 0) {
+    out << ",\"val\":" << e.value;
+  }
   out << "}";
 }
 
@@ -74,13 +81,27 @@ std::optional<EventKind> EventKindFromName(const std::string& name) {
 
 std::optional<std::uint32_t> ParseEventKindMask(const std::string& csv, std::string* error) {
   if (csv.empty()) {
-    return kAllEventKinds;
+    // The pre-access-event default: access-level kinds are opt-in so legacy
+    // --trace-out invocations keep byte-identical exports.
+    return kTransitionEventKinds;
   }
   std::uint32_t mask = 0;
   std::istringstream in(csv);
   std::string token;
   while (std::getline(in, token, ',')) {
     if (token.empty()) {
+      continue;
+    }
+    if (token == "all") {
+      mask |= kAllEventKinds;
+      continue;
+    }
+    if (token == "transitions") {
+      mask |= kTransitionEventKinds;
+      continue;
+    }
+    if (token == "access") {
+      mask |= kAccessEventKinds;
       continue;
     }
     const auto kind = EventKindFromName(token);
@@ -103,6 +124,7 @@ void EventLog::Enable(std::size_t capacity, std::uint32_t mask) {
   emitted_ = 0;
   ring_.clear();
   ring_.reserve(capacity);
+  NotifyMaskChanged();
 }
 
 void EventLog::Disable() {
@@ -112,6 +134,7 @@ void EventLog::Disable() {
   emitted_ = 0;
   ring_.clear();
   ring_.shrink_to_fit();
+  NotifyMaskChanged();
 }
 
 void EventLog::Emit(const TraceEvent& event) {
@@ -193,6 +216,9 @@ std::string EventLog::ToChromeTrace() const {
     }
     if (e.detail != 0) {
       arg("detail", e.detail);
+    }
+    if (e.value != 0) {
+      arg("val", e.value);
     }
     out << "}}";
   }

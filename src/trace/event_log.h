@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "trace/sink.h"
 
 namespace kivati {
 
@@ -41,20 +42,55 @@ enum class EventKind : std::uint8_t {
                        // duration = stall length
   kViolation,          // atomicity violation logged; detail = prevented
   kContextSwitch,      // core switched threads; detail = previous thread
+  // Access-level kinds (appended so the transition kinds above keep their
+  // ordinal values). These feed the watchpoint-free detector backends
+  // (src/detect, docs/detectors.md) and are opt-in: the empty --trace-events
+  // default excludes them, and emitting them makes the interpreter collect
+  // every instruction's access list.
+  kSharedRead,         // committed read of shared data; detail = packed
+                       //   size/atomicity (PackAccessDetail), value = read
+  kSharedWrite,        // committed write of shared data; value = written
+  kThreadSpawn,        // spawn syscall; thread = parent, detail = child tid
+  kThreadJoin,         // join completed; thread = joiner, detail = target tid
   kCount_,             // sentinel, not a kind
 };
 
 inline constexpr unsigned kEventKindCount = static_cast<unsigned>(EventKind::kCount_);
 inline constexpr std::uint32_t kAllEventKinds = (std::uint32_t{1} << kEventKindCount) - 1;
+// The PR 1 kinds: runtime/kernel transitions, everything before kSharedRead.
+inline constexpr std::uint32_t kTransitionEventKinds =
+    (std::uint32_t{1} << static_cast<unsigned>(EventKind::kSharedRead)) - 1;
+// The per-access kinds whose emission requires the interpreter to build the
+// access list for every instruction (sched/machine.cc gates on this group).
+inline constexpr std::uint32_t kAccessEventKinds =
+    (std::uint32_t{1} << static_cast<unsigned>(EventKind::kSharedRead)) |
+    (std::uint32_t{1} << static_cast<unsigned>(EventKind::kSharedWrite));
+inline constexpr std::uint32_t kEventKindBit(EventKind kind) {
+  return std::uint32_t{1} << static_cast<unsigned>(kind);
+}
 
 const char* ToString(EventKind kind);
 std::optional<EventKind> EventKindFromName(const std::string& name);
 
 // Parses a comma-separated kind list ("trap,suspend,violation") into a mask.
 // Returns nullopt (and names the bad token in *error if given) on an unknown
-// kind. An empty string means all kinds.
+// kind. Group tokens: "all" (every kind), "transitions" (the PR 1 kinds),
+// "access" (shared_read + shared_write). An empty string means the
+// transition kinds — the pre-access-event default, so existing --trace-out
+// users see unchanged output.
 std::optional<std::uint32_t> ParseEventKindMask(const std::string& csv,
                                                 std::string* error = nullptr);
+
+// detail encoding for kSharedRead/kSharedWrite: access size in the low byte,
+// bit 8 set when the access is one half of an atomic read-modify-write
+// (kXchg — how locks are acquired).
+inline constexpr std::uint32_t PackAccessDetail(unsigned size, bool atomic_rmw) {
+  return (size & 0xffu) | (atomic_rmw ? 0x100u : 0u);
+}
+inline constexpr unsigned AccessDetailSize(std::uint32_t detail) { return detail & 0xffu; }
+inline constexpr bool AccessDetailAtomic(std::uint32_t detail) {
+  return (detail & 0x100u) != 0;
+}
 
 // One traced event. Fields not meaningful for a kind keep their defaults and
 // are omitted from exports.
@@ -68,14 +104,22 @@ struct TraceEvent {
   std::int32_t slot = -1;      // watchpoint slot, or core for context switches
   std::uint32_t detail = 0;    // kind-specific code, see EventKind comments
   Cycles duration = 0;         // kWake / kSyncStall: measured duration
+  std::uint64_t value = 0;     // kSharedRead/kSharedWrite: value read/written
 };
 
-class EventLog {
+// The canonical ring-buffer sink: bounded retention plus the JSONL / Chrome
+// trace exporters. Usable standalone (unit tests) or attached to a TraceHub,
+// in which case Enable/Disable update the hub's cached mask union.
+class EventLog : public TraceSink {
  public:
   // Arms the log with a ring of `capacity` events recording the kinds in
   // `mask`. The single allocation happens here. Re-enabling resets contents.
   void Enable(std::size_t capacity, std::uint32_t mask = kAllEventKinds);
   void Disable();
+
+  // TraceSink: an attached, enabled log wants exactly its configured kinds.
+  std::uint32_t wants_mask() const override { return enabled_ ? mask_ : 0; }
+  void OnEvent(const TraceEvent& event) override { Emit(event); }
 
   bool enabled() const { return enabled_; }
   bool Wants(EventKind kind) const {

@@ -6,21 +6,10 @@
 #include <vector>
 
 namespace kivati {
-namespace {
 
-char TypeChar(AccessType type) { return type == AccessType::kRead ? 'R' : 'W'; }
-
-}  // namespace
-
-std::string ViolationPattern(const ViolationRecord& v) {
-  std::string pattern;
-  pattern += TypeChar(v.first);
-  pattern += '-';
-  pattern += TypeChar(v.remote);
-  pattern += '-';
-  pattern += TypeChar(v.second);
-  return pattern;
-}
+// ViolationPattern moved next to ViolationRecord (trace/trace.cc) so every
+// consumer — this report, the repro target match, the fuzzer dedup key —
+// shares the single canonical formatting.
 
 std::string FormatViolationReport(const Trace& trace, const ArSymbolizer& symbolizer) {
   if (trace.violations().empty()) {

@@ -17,9 +17,8 @@ namespace kivati {
 // an empty string if unknown.
 using ArSymbolizer = std::function<std::string(ArId)>;
 
-// The Figure-2 interleaving pattern of a violation, local-remote-local, as
-// "R-W-W" etc. Used by reports and by the repro shrinker's target match.
-std::string ViolationPattern(const ViolationRecord& v);
+// ViolationPattern lives in trace/trace.h, next to ViolationRecord (visible
+// here through the include above).
 
 // Per-AR grouped violation report:
 //

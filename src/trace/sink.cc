@@ -1,0 +1,65 @@
+#include "trace/sink.h"
+
+#include <algorithm>
+
+#include "trace/event_log.h"
+
+namespace kivati {
+
+TraceSink::~TraceSink() {
+  if (hub_ != nullptr) {
+    hub_->Detach(this);
+  }
+}
+
+void TraceSink::NotifyMaskChanged() {
+  if (hub_ != nullptr) {
+    hub_->RefreshMask();
+  }
+}
+
+TraceHub::~TraceHub() {
+  for (TraceSink* sink : sinks_) {
+    sink->hub_ = nullptr;
+  }
+}
+
+void TraceHub::Attach(TraceSink* sink) {
+  if (sink == nullptr || sink->hub_ == this) {
+    return;
+  }
+  if (sink->hub_ != nullptr) {
+    sink->hub_->Detach(sink);
+  }
+  sink->hub_ = this;
+  sinks_.push_back(sink);
+  mask_ |= sink->wants_mask();
+}
+
+void TraceHub::Detach(TraceSink* sink) {
+  const auto it = std::find(sinks_.begin(), sinks_.end(), sink);
+  if (it == sinks_.end()) {
+    return;
+  }
+  (*it)->hub_ = nullptr;
+  sinks_.erase(it);
+  RefreshMask();
+}
+
+void TraceHub::Emit(const TraceEvent& event) {
+  const std::uint32_t bit = std::uint32_t{1} << static_cast<unsigned>(event.kind);
+  for (TraceSink* sink : sinks_) {
+    if ((sink->wants_mask() & bit) != 0) {
+      sink->OnEvent(event);
+    }
+  }
+}
+
+void TraceHub::RefreshMask() {
+  mask_ = 0;
+  for (const TraceSink* sink : sinks_) {
+    mask_ |= sink->wants_mask();
+  }
+}
+
+}  // namespace kivati

@@ -17,6 +17,19 @@ std::string ToString(const ViolationRecord& record) {
   return buf;
 }
 
+std::string ViolationPattern(const ViolationRecord& v) {
+  const auto type_char = [](AccessType type) {
+    return type == AccessType::kRead ? 'R' : 'W';
+  };
+  std::string pattern;
+  pattern += type_char(v.first);
+  pattern += '-';
+  pattern += type_char(v.remote);
+  pattern += '-';
+  pattern += type_char(v.second);
+  return pattern;
+}
+
 std::size_t Trace::UniqueViolatingArs() const {
   std::unordered_set<ArId> unique;
   for (const auto& v : violations_) {

@@ -15,6 +15,7 @@
 #include "common/types.h"
 #include "trace/event_log.h"
 #include "trace/histogram.h"
+#include "trace/sink.h"
 
 namespace kivati {
 
@@ -41,6 +42,12 @@ struct ViolationRecord {
 };
 
 std::string ToString(const ViolationRecord& record);
+
+// The Figure-2 interleaving pattern of a violation, local-remote-local, as
+// "R-W-W" etc. The ONE canonical formatting: reports, the repro shrinker's
+// target match and the fuzzer's dedup key all call this (a regression test
+// keeps them agreeing — see fuzz_test).
+std::string ViolationPattern(const ViolationRecord& v);
 
 // Application-emitted trace marks (SYS_MARK), used by the latency harness.
 struct MarkEvent {
@@ -126,15 +133,45 @@ class Trace {
   const RuntimeStats& stats() const { return stats_; }
 
   // Structured event stream (disabled unless EventLog::Enable was called).
+  // The ring is one sink on the hub; emit sites go through hub().
   EventLog& events() { return events_; }
   const EventLog& events() const { return events_; }
 
+  // The observer fan-out all runtime/kernel/machine emit sites go through.
+  // Detector backends attach here (docs/detectors.md).
+  TraceHub& hub() { return hub_; }
+  const TraceHub& hub() const { return hub_; }
+
   void Clear();
+
+  Trace() { hub_.Attach(&events_); }
+  // Sinks attach to a hub by identity, so moving a Trace re-attaches its own
+  // ring to its own (fresh) hub. Externally attached sinks (detector
+  // backends) do NOT follow a move — owners re-attach after moving the
+  // machine, as BuildEngine does.
+  Trace(Trace&& other) noexcept
+      : violations_(std::move(other.violations_)),
+        marks_(std::move(other.marks_)),
+        stats_(other.stats_),
+        events_(std::move(other.events_)) {
+    hub_.Attach(&events_);
+  }
+  Trace& operator=(Trace&& other) noexcept {
+    violations_ = std::move(other.violations_);
+    marks_ = std::move(other.marks_);
+    stats_ = other.stats_;
+    events_ = std::move(other.events_);  // ring contents; attachment stays ours
+    hub_.RefreshMask();
+    return *this;
+  }
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
 
  private:
   std::vector<ViolationRecord> violations_;
   std::vector<MarkEvent> marks_;
   RuntimeStats stats_;
+  TraceHub hub_;
   EventLog events_;
 };
 

@@ -409,8 +409,11 @@ TEST_F(CliTest, SweepRejectsBadGrids) {
 }
 
 // Satellite audit: every --json mode must keep stdout a single JSON document
-// with all human-readable reporting on stderr.
-TEST_F(CliTest, JsonModesKeepStdoutPure) {
+// with all human-readable reporting on stderr, and that document must be a
+// report::Envelope — "kind" (a "kivati_"-prefixed name) as the first key and
+// an integral "schema_version" as the second, so downstream tooling can
+// dispatch on the first bytes of any report.
+TEST_F(CliTest, JsonModesEmitExactlyOneEnvelopeDocument) {
   const std::string trace = (dir_ / "trace.json").string();
   const CommandResult record =
       RunCli("run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 "
@@ -418,20 +421,104 @@ TEST_F(CliTest, JsonModesKeepStdoutPure) {
   ASSERT_EQ(record.exit_code, 0) << record.output;
   ASSERT_TRUE(std::filesystem::exists(trace));
 
-  const std::vector<std::pair<std::string, std::string>> modes = {
-      {"annotate", "annotate " + program_ + " --json"},
-      {"analyze", "analyze " + program_ + " --threads racer:0,racer:1 --json"},
-      {"run", "run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 --json -"},
-      {"sweep", "sweep " + program_ + " --threads racer:0,racer:1 --seeds 1,2 --json -"},
-      {"replay", "replay " + trace + " --json -"},
-      {"shrink", "shrink " + trace + " --max-runs 12 --json -"},
+  struct Mode {
+    std::string kind;
+    std::string args;
   };
-  for (const auto& [label, args] : modes) {
-    SCOPED_TRACE(label);
-    const CommandResult result = RunCliStdout(args);
+  const std::vector<Mode> modes = {
+      {"kivati_annotate", "annotate " + program_ + " --json"},
+      {"kivati_analyze", "analyze " + program_ + " --threads racer:0,racer:1 --json"},
+      {"kivati_run",
+       "run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 --json -"},
+      {"kivati_sweep", "sweep " + program_ + " --threads racer:0,racer:1 --seeds 1,2 --json -"},
+      {"kivati_run", "replay " + trace + " --json -"},
+      {"kivati_shrink", "shrink " + trace + " --max-runs 12 --json -"},
+      {"kivati_fuzz",
+       "fuzz --bug NSS-329072 --seed 7 --schedules 2 --plateau 2 --shrink-runs 4 "
+       "--max-cycles 2000000 --json -"},
+      {"kivati_compare",
+       "compare --bug NSS-329072 --max-cycles 3000000 --json -"},
+  };
+  for (const auto& mode : modes) {
+    SCOPED_TRACE(mode.kind + ": " + mode.args);
+    const CommandResult result = RunCliStdout(mode.args);
     EXPECT_EQ(result.exit_code, 0) << result.output;
     ExpectSingleJsonDocument(result.output);
+    const std::regex envelope("^\\{\"kind\":\"" + mode.kind + "\",\"schema_version\":[0-9]+,");
+    EXPECT_TRUE(std::regex_search(result.output, envelope))
+        << "not an envelope document: " << result.output.substr(0, 120);
   }
+}
+
+// Satellite back-compat audit: with the default event selection (the
+// transition kinds), the JSONL and Chrome trace exports are byte-identical
+// to the goldens recorded before the TraceSink refactor — attaching the hub
+// between the emit sites and the EventLog changed no observable output.
+TEST_F(CliTest, TraceExportsMatchPreSinkGoldens) {
+  const std::string golden = std::string(KIVATI_GOLDEN_DIR) + "/trace_backcompat";
+  const std::string program = golden + ".kv";
+  ASSERT_TRUE(std::filesystem::exists(program)) << program;
+
+  const std::string jsonl = (dir_ / "trace.jsonl").string();
+  const CommandResult run_jsonl =
+      RunCli("run " + program + " --threads racer:0,safe:1 --preset base --seed 9 "
+             "--trace-out=" + jsonl);
+  ASSERT_EQ(run_jsonl.exit_code, 0) << run_jsonl.output;
+  EXPECT_EQ(ReadFileToString(jsonl), ReadFileToString(golden + ".jsonl"))
+      << "JSONL export drifted from tests/golden/trace_backcompat.jsonl";
+
+  const std::string chrome = (dir_ / "trace.chrome.json").string();
+  const CommandResult run_chrome =
+      RunCli("run " + program + " --threads racer:0,safe:1 --preset base --seed 9 "
+             "--trace-out=" + chrome);
+  ASSERT_EQ(run_chrome.exit_code, 0) << run_chrome.output;
+  EXPECT_EQ(ReadFileToString(chrome), ReadFileToString(golden + ".chrome.json"))
+      << "Chrome export drifted from tests/golden/trace_backcompat.chrome.json";
+}
+
+// The hb oracle rides along on a normal run via --hb: the human report gains
+// the oracle line and the JSON record gains the "hb" block.
+TEST_F(CliTest, RunWithHbOracleReportsRacesAndJsonBlock) {
+  const CommandResult result = RunCli(
+      "run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 --hb");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("hb oracle:"), std::string::npos) << result.output;
+
+  const CommandResult json = RunCliStdout(
+      "run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 --hb --json -");
+  EXPECT_EQ(json.exit_code, 0) << json.output;
+  ExpectSingleJsonDocument(json.output);
+  EXPECT_NE(json.output.find("\"hb\":{\"races\":"), std::string::npos) << json.output;
+  EXPECT_NE(json.output.find("\"overhead_ops\":"), std::string::npos) << json.output;
+
+  // Without the flag the block is absent — performance runs pay nothing.
+  const CommandResult plain = RunCliStdout(
+      "run " + program_ + " --threads racer:0,racer:1 --preset base --seed 9 --json -");
+  EXPECT_EQ(plain.output.find("\"hb\":"), std::string::npos);
+}
+
+// The compare command: both backends over the same execution, human table
+// plus envelope JSON, and name validation.
+TEST_F(CliTest, CompareRunsBothBackendsSideBySide) {
+  const CommandResult human = RunCli("compare --bug NSS-329072 --max-cycles 3000000");
+  EXPECT_EQ(human.exit_code, 0) << human.output;
+  EXPECT_NE(human.output.find("kivati"), std::string::npos);
+  EXPECT_NE(human.output.find("hb"), std::string::npos);
+  EXPECT_NE(human.output.find("overhead"), std::string::npos) << human.output;
+
+  const CommandResult json =
+      RunCliStdout("compare --bug NSS-329072 --max-cycles 3000000 --json -");
+  EXPECT_EQ(json.exit_code, 0) << json.output;
+  ExpectSingleJsonDocument(json.output);
+  EXPECT_NE(json.output.find("\"overhead_ratio\":"), std::string::npos) << json.output;
+  // The HB oracle convicts this bug from any execution; Kivati catches the
+  // interleaving within this budget too.
+  EXPECT_NE(json.output.find("\"kivati_found_bug\":true"), std::string::npos) << json.output;
+  EXPECT_NE(json.output.find("\"hb_found_bug\":true"), std::string::npos) << json.output;
+
+  const CommandResult unknown = RunCli("compare --bug nosuch-1");
+  EXPECT_NE(unknown.exit_code, 0);
+  EXPECT_NE(unknown.output.find("unknown bug"), std::string::npos);
 }
 
 TEST_F(CliTest, RecordedScheduleReplaysByteIdentical) {

@@ -1,0 +1,492 @@
+// The detector backends (src/detect, docs/detectors.md): vector-clock
+// algebra, the happens-before/lockset oracle over synthetic event streams,
+// the Detector interface adapters, and the differential soundness contract —
+// the HB backend must find every corpus bug from a single bug-finding run,
+// stay silent on the benign false-positive corpus, and cost measurably more
+// per access than Kivati's watchpoint pipeline (the compare command's
+// numbers, golden-tested here).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detect/detector.h"
+#include "detect/hb_detector.h"
+#include "detect/vector_clock.h"
+#include "exp/compare.h"
+#include "exp/run_spec.h"
+#include "exp/runner.h"
+#include "trace/event_log.h"
+
+namespace kivati {
+namespace {
+
+using detect::DetectorStats;
+using detect::Finding;
+using detect::HbDetectorOptions;
+using detect::HbLocksetDetector;
+using detect::VectorClock;
+
+TEST(VectorClockTest, AbsentEntriesReadZeroAndSetGrows) {
+  VectorClock vc;
+  EXPECT_EQ(vc.Get(0), 0u);
+  EXPECT_EQ(vc.Get(17), 0u);
+  EXPECT_EQ(vc.size(), 0u);
+  vc.Set(3, 9);
+  EXPECT_EQ(vc.Get(3), 9u);
+  EXPECT_EQ(vc.Get(2), 0u);
+  EXPECT_EQ(vc.size(), 4u);
+  vc.Tick(3);
+  vc.Tick(5);
+  EXPECT_EQ(vc.Get(3), 10u);
+  EXPECT_EQ(vc.Get(5), 1u);
+}
+
+TEST(VectorClockTest, JoinTakesComponentwiseMax) {
+  VectorClock a;
+  a.Set(0, 4);
+  a.Set(1, 1);
+  VectorClock b;
+  b.Set(1, 7);
+  b.Set(2, 2);
+  a.Join(b);
+  EXPECT_EQ(a.Get(0), 4u);
+  EXPECT_EQ(a.Get(1), 7u);
+  EXPECT_EQ(a.Get(2), 2u);
+}
+
+TEST(VectorClockTest, LeqAllAndFirstExceedingAgree) {
+  VectorClock earlier;
+  earlier.Set(0, 2);
+  VectorClock later;
+  later.Set(0, 3);
+  later.Set(1, 1);
+  EXPECT_TRUE(earlier.LeqAll(later));
+  EXPECT_EQ(earlier.FirstExceeding(later), kInvalidThread);
+  EXPECT_FALSE(later.LeqAll(earlier));
+  // Thread 0's component (3 > 2) is the first witness of concurrency.
+  EXPECT_EQ(later.FirstExceeding(earlier), ThreadId{0});
+
+  VectorClock incomparable;
+  incomparable.Set(1, 5);
+  EXPECT_FALSE(incomparable.LeqAll(earlier));
+  EXPECT_FALSE(earlier.LeqAll(incomparable));
+  EXPECT_EQ(incomparable.FirstExceeding(earlier), ThreadId{1});
+}
+
+TEST(VectorClockTest, AssignCopiesAndReportsSlots) {
+  VectorClock a;
+  a.Set(0, 1);
+  a.Set(1, 2);
+  VectorClock b;
+  EXPECT_EQ(b.Assign(a), 2u);
+  EXPECT_EQ(b.Get(0), 1u);
+  EXPECT_EQ(b.Get(1), 2u);
+}
+
+// --- Synthetic event streams ------------------------------------------------
+
+constexpr Addr kVar = 0x1000;
+constexpr Addr kLock = 0x2000;
+
+TraceEvent Access(EventKind kind, ThreadId tid, Addr addr, std::uint64_t value = 0,
+                  bool atomic = false, ProgramCounter pc = 0) {
+  TraceEvent event;
+  event.kind = kind;
+  event.thread = tid;
+  event.addr = addr;
+  event.pc = pc;
+  event.detail = PackAccessDetail(8, atomic);
+  event.value = value;
+  return event;
+}
+
+TraceEvent Read(ThreadId tid, Addr addr, ProgramCounter pc = 0) {
+  return Access(EventKind::kSharedRead, tid, addr, 0, false, pc);
+}
+
+TraceEvent Write(ThreadId tid, Addr addr, ProgramCounter pc = 0) {
+  return Access(EventKind::kSharedWrite, tid, addr, 0, false, pc);
+}
+
+// The codegen lock() protocol: an atomic xchg whose read half returns the
+// free value acquires; a plain store of 0 releases.
+void Acquire(HbLocksetDetector& hb, ThreadId tid, Addr lock) {
+  hb.OnEvent(Access(EventKind::kSharedRead, tid, lock, 0, /*atomic=*/true));
+  hb.OnEvent(Access(EventKind::kSharedWrite, tid, lock, 1, /*atomic=*/true));
+}
+
+void Release(HbLocksetDetector& hb, ThreadId tid, Addr lock) {
+  hb.OnEvent(Access(EventKind::kSharedWrite, tid, lock, 0, /*atomic=*/false));
+}
+
+TraceEvent Spawn(ThreadId parent, ThreadId child) {
+  TraceEvent event;
+  event.kind = EventKind::kThreadSpawn;
+  event.thread = parent;
+  event.detail = child;
+  return event;
+}
+
+TraceEvent Join(ThreadId joiner, ThreadId target) {
+  TraceEvent event;
+  event.kind = EventKind::kThreadJoin;
+  event.thread = joiner;
+  event.detail = target;
+  return event;
+}
+
+TEST(HbDetectorTest, WantsExactlyTheAccessLevelKinds) {
+  HbLocksetDetector hb;
+  const std::uint32_t mask = hb.wants_mask();
+  EXPECT_EQ(mask & kAccessEventKinds, kAccessEventKinds);
+  EXPECT_NE(mask & kEventKindBit(EventKind::kThreadSpawn), 0u);
+  EXPECT_NE(mask & kEventKindBit(EventKind::kThreadJoin), 0u);
+  // Transition kinds (traps, suspensions, ...) are not subscribed.
+  EXPECT_EQ(mask & kEventKindBit(EventKind::kTrap), 0u);
+  EXPECT_EQ(mask & kEventKindBit(EventKind::kViolation), 0u);
+}
+
+TEST(HbDetectorTest, UnorderedConflictingWritesReportOneRace) {
+  HbLocksetDetector hb;
+  hb.OnEvent(Write(0, kVar, 0x10));
+  hb.OnEvent(Write(1, kVar, 0x20));
+  ASSERT_EQ(hb.findings().size(), 1u);
+  const Finding& f = hb.findings().front();
+  EXPECT_EQ(f.backend, "hb");
+  EXPECT_EQ(f.kind, "hb-race");
+  EXPECT_EQ(f.addr, kVar);
+  EXPECT_EQ(f.first_thread, ThreadId{0});
+  EXPECT_EQ(f.first_pc, ProgramCounter{0x10});
+  EXPECT_EQ(f.second_thread, ThreadId{1});
+  EXPECT_EQ(f.second_pc, ProgramCounter{0x20});
+  EXPECT_EQ(f.pattern, "W-W");
+  EXPECT_EQ(hb.hb_races(), 1u);
+
+  // Findings deduplicate per address: more racy traffic adds nothing.
+  hb.OnEvent(Write(0, kVar));
+  hb.OnEvent(Write(1, kVar));
+  EXPECT_EQ(hb.findings().size(), 1u);
+
+  // A different variable is a fresh finding.
+  hb.OnEvent(Write(0, kVar + 8));
+  hb.OnEvent(Write(1, kVar + 8));
+  EXPECT_EQ(hb.findings().size(), 2u);
+  EXPECT_EQ(detect::FindingAddrs(hb).size(), 2u);
+}
+
+TEST(HbDetectorTest, ConcurrentReadsAreNotARaceButReadWriteIs) {
+  HbLocksetDetector hb;
+  hb.OnEvent(Read(0, kVar, 0x10));
+  hb.OnEvent(Read(1, kVar, 0x20));
+  EXPECT_TRUE(hb.findings().empty());
+
+  // A write unordered with thread 0's read races against it.
+  hb.OnEvent(Write(1, kVar, 0x24));
+  ASSERT_EQ(hb.findings().size(), 1u);
+  EXPECT_EQ(hb.findings().front().pattern, "R-W");
+  EXPECT_EQ(hb.findings().front().first_thread, ThreadId{0});
+}
+
+TEST(HbDetectorTest, TrustedLockOrdersCriticalSections) {
+  HbDetectorOptions options;
+  options.lock_addrs = {kLock};
+  HbLocksetDetector hb(options);
+  Acquire(hb, 0, kLock);
+  hb.OnEvent(Write(0, kVar));
+  Release(hb, 0, kLock);
+  Acquire(hb, 1, kLock);
+  hb.OnEvent(Write(1, kVar));
+  Release(hb, 1, kLock);
+
+  EXPECT_TRUE(hb.findings().empty()) << detect::ToString(hb.findings().front());
+  EXPECT_EQ(hb.hb_races(), 0u);
+  EXPECT_EQ(hb.lockset_only(), 0u);
+  const DetectorStats& stats = hb.stats();
+  // Lock words are sync objects, not data: only the two kVar writes count.
+  EXPECT_EQ(stats.accesses_observed, 2u);
+  // Two acquires + two releases.
+  EXPECT_EQ(stats.sync_ops, 4u);
+  EXPECT_EQ(stats.overhead_ops, stats.shadow_ops + stats.sync_ops);
+}
+
+TEST(HbDetectorTest, XchgDynamicallyRegistersLockWords) {
+  // No static trusted set: the first atomic RMW marks the address as a sync
+  // object, and the protocol still carries acquire/release edges.
+  HbLocksetDetector hb;
+  Acquire(hb, 0, kLock);
+  hb.OnEvent(Write(0, kVar));
+  Release(hb, 0, kLock);
+  Acquire(hb, 1, kLock);
+  hb.OnEvent(Write(1, kVar));
+  Release(hb, 1, kLock);
+  EXPECT_TRUE(hb.findings().empty());
+  EXPECT_EQ(hb.stats().accesses_observed, 2u);
+}
+
+TEST(HbDetectorTest, FailedAcquireCarriesNoEdge) {
+  HbDetectorOptions options;
+  options.lock_addrs = {kLock};
+  HbLocksetDetector hb(options);
+  Acquire(hb, 0, kLock);
+  hb.OnEvent(Write(0, kVar));
+  // Thread 1's xchg reads 1 (lock busy): no acquire, no ordering; its later
+  // unsynchronized write must still race.
+  hb.OnEvent(Access(EventKind::kSharedRead, 1, kLock, 1, /*atomic=*/true));
+  hb.OnEvent(Access(EventKind::kSharedWrite, 1, kLock, 1, /*atomic=*/true));
+  hb.OnEvent(Write(1, kVar));
+  ASSERT_EQ(hb.findings().size(), 1u);
+  EXPECT_EQ(hb.findings().front().kind, "hb-race");
+}
+
+TEST(HbDetectorTest, SpawnEdgeOrdersChildAfterParent) {
+  HbDetectorOptions options;
+  options.lockset = false;
+  HbLocksetDetector hb(options);
+  hb.OnEvent(Write(0, kVar));
+  hb.OnEvent(Spawn(0, 1));
+  hb.OnEvent(Write(1, kVar));
+  EXPECT_TRUE(hb.findings().empty());
+
+  // Without the spawn edge the same pair races (control).
+  HbLocksetDetector control(options);
+  control.OnEvent(Write(0, kVar));
+  control.OnEvent(Write(1, kVar));
+  EXPECT_EQ(control.findings().size(), 1u);
+}
+
+TEST(HbDetectorTest, JoinEdgeOrdersJoinerAfterTarget) {
+  HbDetectorOptions options;
+  options.lockset = false;
+  HbLocksetDetector hb(options);
+  hb.OnEvent(Write(1, kVar));
+  hb.OnEvent(Join(0, 1));
+  hb.OnEvent(Write(0, kVar));
+  EXPECT_TRUE(hb.findings().empty());
+  EXPECT_EQ(hb.stats().sync_ops, 1u);
+}
+
+TEST(HbDetectorTest, SpawnOrderedSharingIsLocksetOnly) {
+  // The classic Eraser false positive: parent initializes, spawns, child
+  // mutates. HB is silent (the spawn edge orders the pair); the raw lockset
+  // verdict is an empty candidate set on shared-modified data.
+  HbLocksetDetector hb;
+  hb.OnEvent(Write(0, kVar, 0x10));
+  hb.OnEvent(Spawn(0, 1));
+  hb.OnEvent(Read(1, kVar, 0x20));
+  hb.OnEvent(Write(1, kVar, 0x24));
+  EXPECT_EQ(hb.hb_races(), 0u);
+  EXPECT_EQ(hb.lockset_only(), 1u);
+  ASSERT_EQ(hb.findings().size(), 1u);
+  const Finding& f = hb.findings().front();
+  EXPECT_EQ(f.kind, "lockset-only");
+  EXPECT_EQ(f.first_thread, ThreadId{0});
+  EXPECT_EQ(f.second_thread, ThreadId{1});
+  EXPECT_EQ(detect::FindingAddrs(hb, {"hb-race"}).size(), 0u);
+  EXPECT_EQ(detect::FindingAddrs(hb, {"lockset-only"}).size(), 1u);
+}
+
+TEST(HbDetectorTest, HbRaceSubsumesTheLocksetVerdict) {
+  // When the pair is genuinely unordered, the hb-race finding covers the
+  // address: no duplicate lockset-only report for the same variable.
+  HbLocksetDetector hb;
+  hb.OnEvent(Write(0, kVar));
+  hb.OnEvent(Write(1, kVar));
+  EXPECT_EQ(hb.hb_races(), 1u);
+  EXPECT_EQ(hb.lockset_only(), 0u);
+  EXPECT_EQ(hb.findings().size(), 1u);
+}
+
+// --- End-to-end over real engine runs ---------------------------------------
+
+class DetectEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("kivati_detect_test_") + info->name());
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteSource(const std::string& name, const std::string& text) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream(path) << text;
+    return path;
+  }
+
+  exp::RunSpec SourceSpec(const std::string& path,
+                          std::vector<std::pair<std::string, std::uint64_t>> threads) {
+    exp::RunSpec spec;
+    spec.source_path = path;
+    spec.threads = std::move(threads);
+    spec.machine.seed = 9;
+    // The compare command's default: sync-var ARs whitelisted (Table 3), so
+    // a clean program is clean in both backends.
+    spec.preset = OptimizationPreset::kOptimized;
+    spec.hb_detector = true;
+    return spec;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DetectEndToEndTest, RacyProgramYieldsHbRaceThroughTheTraceHub) {
+  const std::string source = WriteSource("racer.kv", R"(
+    int counter;
+    void racer(int id) {
+      for (int i = 0; i < 40; i = i + 1) {
+        int t = counter;
+        for (int k = 0; k < 150; k = k + 1) { t = t + 0; }
+        counter = t + 1;
+      }
+    }
+  )");
+  const exp::RunRecord record =
+      exp::Execute(SourceSpec(source, {{"racer", 0}, {"racer", 1}}));
+  ASSERT_TRUE(record.error.empty()) << record.error;
+  EXPECT_TRUE(record.hb_attached);
+  EXPECT_GE(record.hb_races, 1u);
+  EXPECT_GT(record.hb_stats.accesses_observed, 0u);
+  EXPECT_GT(record.hb_stats.shadow_ops, 0u);
+  ASSERT_FALSE(record.hb_findings.empty());
+  EXPECT_EQ(record.hb_findings.front().backend, "hb");
+  EXPECT_EQ(record.hb_findings.front().kind, "hb-race");
+}
+
+TEST_F(DetectEndToEndTest, LockProtectedProgramIsHbSilentWhereKivatiFalsePositives) {
+  // Benign false-positive corpus, case 1: consistent lock discipline. The
+  // candidate lockset never empties and the release/acquire edges order
+  // every pair, so the HB oracle is provably silent. Kivati's heuristic
+  // annotator, by contrast, infers a cross-iteration atomic region (the
+  // write at the end of one critical section paired with the read at the
+  // top of the next, spanning the unlock) and flags its benign interleaving
+  // — the annotator false-positive class that training and whitelists exist
+  // to remove (paper §3.3). The golden counts below are the per-backend
+  // numbers the comparison is about.
+  const std::string source = WriteSource("safe.kv", R"(
+    int counter;
+    sync int m;
+    void safe(int id) {
+      for (int i = 0; i < 40; i = i + 1) {
+        lock(m);
+        counter = counter + 1;
+        unlock(m);
+      }
+    }
+  )");
+  const exp::RunRecord record =
+      exp::Execute(SourceSpec(source, {{"safe", 0}, {"safe", 1}}));
+  ASSERT_TRUE(record.error.empty()) << record.error;
+  EXPECT_EQ(record.violations, 3u);          // Kivati: cross-iteration AR FPs
+  EXPECT_EQ(record.false_positive_ars, 1u);  // all on the one inferred AR
+  EXPECT_EQ(record.hb_races, 0u);            // HB: lock edges prove the order
+  EXPECT_EQ(record.hb_lockset_only, 0u);     // lockset: candidate keeps m
+  // The oracle did real work to prove silence.
+  EXPECT_GT(record.hb_stats.accesses_observed, 0u);
+  EXPECT_GT(record.hb_stats.sync_ops, 0u);
+}
+
+TEST_F(DetectEndToEndTest, ForkOrderedProgramIsHbSilentButLocksetFires) {
+  // Benign false-positive corpus, case 2: parent initializes shared data and
+  // only then spawns the worker that mutates it. No lock is ever held, so
+  // raw Eraser flags the variable; the spawn edge proves the order, so the
+  // HB verdict stays clean and the finding is demoted to "lockset-only".
+  const std::string source = WriteSource("forkjoin.kv", R"(
+    int data;
+    void child(int id) {
+      for (int i = 0; i < 8; i = i + 1) { data = data + 1; }
+    }
+    void parent(int id) {
+      data = 41;
+      spawn child(0);
+    }
+  )");
+  const exp::RunRecord record = exp::Execute(SourceSpec(source, {{"parent", 0}}));
+  ASSERT_TRUE(record.error.empty()) << record.error;
+  EXPECT_EQ(record.violations, 0u);       // Kivati: no false positive
+  EXPECT_EQ(record.hb_races, 0u);         // HB: ordered by the spawn edge
+  EXPECT_EQ(record.hb_lockset_only, 1u);  // raw lockset: the classic FP
+  ASSERT_EQ(record.hb_findings.size(), 1u);
+  EXPECT_EQ(record.hb_findings.front().kind, "lockset-only");
+}
+
+TEST_F(DetectEndToEndTest, KivatiTraceDetectorAdaptsARunsViolations) {
+  exp::RunSpec spec;
+  spec.bug = "NSS-329072";
+  spec.mode = KivatiMode::kBugFinding;
+  spec.machine.seed = 1;
+  spec.budget = 10'000'000;
+  exp::BuiltRun run = exp::BuildEngine(spec);
+  const RunResult result = run.engine->Run(spec.budget);
+  (void)result;
+
+  const detect::KivatiTraceDetector kivati(run.engine->trace());
+  EXPECT_STREQ(kivati.name(), "kivati");
+  ASSERT_EQ(kivati.findings().size(), run.engine->trace().violations().size());
+  ASSERT_FALSE(kivati.findings().empty()) << "expected NSS-329072 to trigger";
+  const Finding& f = kivati.findings().front();
+  const ViolationRecord& v = run.engine->trace().violations().front();
+  EXPECT_EQ(f.backend, "kivati");
+  EXPECT_EQ(f.kind, "atomicity-violation");
+  EXPECT_EQ(f.ar, v.ar_id);
+  EXPECT_EQ(f.addr, v.addr);
+  EXPECT_EQ(f.pattern, ViolationPattern(v));
+  // Kivati's overhead unit: kernel crossings + watchpoint traps.
+  const RuntimeStats& stats = run.engine->trace().stats();
+  EXPECT_EQ(kivati.stats().overhead_ops,
+            stats.kernel_entries_total() + stats.watchpoint_traps);
+}
+
+// --- Differential soundness over the corpus ---------------------------------
+
+// One bug-finding run per Table-6 bug with both backends observing the same
+// execution (seed 1, 10M-cycle budget). The HB oracle judges synchronization
+// structure, so it must convict every corpus bug from any execution; Kivati
+// only reports interleavings that actually happened, so its found-set at
+// this fixed budget is a golden subset. tools/compare_smoke.sh holds CI to
+// the same numbers via bench/COMPARE_baseline.txt.
+TEST(DifferentialSoundnessTest, HbConvictsEveryCorpusBugAndNeitherBackendFalsePositives) {
+  exp::CompareOptions options;
+  options.budget = 10'000'000;
+  const exp::CompareReport report = exp::RunCompare(options);
+
+  ASSERT_EQ(report.rows.size(), exp::CorpusBugNames().size());
+  std::set<std::string> kivati_found;
+  for (const exp::CompareRow& row : report.rows) {
+    SCOPED_TRACE(row.name);
+    ASSERT_TRUE(row.error.empty()) << row.error;
+    EXPECT_TRUE(row.has_known_bugs);
+    // The soundness contract: no asserted exceptions — HB finds all 11.
+    EXPECT_TRUE(row.hb_found_bug);
+    EXPECT_GE(row.hb_races, 1u);
+    EXPECT_EQ(row.kivati_false_positive_ars, 0u);
+    EXPECT_EQ(row.hb_false_positive_addrs, 0u);
+    EXPECT_GT(row.hb_accesses, 0u);
+    EXPECT_GT(row.hb_overhead_ops, 0u);
+    if (row.kivati_found_bug) {
+      kivati_found.insert(row.name);
+    }
+  }
+  EXPECT_EQ(report.hb_bugs_found, report.rows_with_bugs);
+  EXPECT_EQ(report.kivati_false_positives, 0u);
+  EXPECT_EQ(report.hb_false_positives, 0u);
+
+  // Golden found-set for Kivati at this seed/budget: detection requires the
+  // racy interleaving to occur, and these five do within 10M cycles.
+  const std::set<std::string> expected_kivati = {
+      "NSS-341323", "NSS-329072", "NSS-225525", "NSS-270689", "MySQL-19938"};
+  EXPECT_EQ(kivati_found, expected_kivati);
+
+  // The paper's cost argument, quantified: the always-on oracle performs
+  // several times more work per shared access than the watchpoint pipeline.
+  EXPECT_GT(report.hb_ops_per_access, report.kivati_ops_per_access);
+  EXPECT_GT(report.overhead_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace kivati

@@ -84,8 +84,46 @@ TEST(EventLogTest, ParseEventKindMaskRejectsUnknownNames) {
   std::string error;
   EXPECT_FALSE(ParseEventKindMask("trap,bogus", &error).has_value());
   EXPECT_EQ(error, "bogus");
-  // Empty means everything.
-  EXPECT_EQ(ParseEventKindMask("", &error), kAllEventKinds);
+  // Empty means the legacy transition kinds: access-level kinds are opt-in
+  // so default --trace-out exports stay byte-identical to pre-sink output.
+  EXPECT_EQ(ParseEventKindMask("", &error), kTransitionEventKinds);
+  EXPECT_EQ(ParseEventKindMask("all", &error), kAllEventKinds);
+  EXPECT_EQ(ParseEventKindMask("access", &error), kAccessEventKinds);
+  EXPECT_EQ(ParseEventKindMask("transitions,access", &error),
+            kTransitionEventKinds | kAccessEventKinds);
+  EXPECT_EQ((kTransitionEventKinds & kAccessEventKinds), 0u);
+}
+
+TEST(EventLogTest, HubFansOutToSinksAndCachesMaskUnion) {
+  struct CountingSink : TraceSink {
+    std::uint32_t mask = 0;
+    std::vector<TraceEvent> seen;
+    std::uint32_t wants_mask() const override { return mask; }
+    void OnEvent(const TraceEvent& event) override { seen.push_back(event); }
+  };
+  TraceHub hub;
+  EventLog ring;
+  CountingSink detector;
+  detector.mask = kEventKindBit(EventKind::kSharedWrite);
+  hub.Attach(&ring);
+  hub.Attach(&detector);
+  // Disabled ring contributes nothing; the detector's mask is the union.
+  EXPECT_FALSE(hub.Wants(EventKind::kTrap));
+  EXPECT_TRUE(hub.Wants(EventKind::kSharedWrite));
+
+  ring.Enable(4, ParseEventKindMask("trap").value());  // notifies the hub
+  EXPECT_TRUE(hub.Wants(EventKind::kTrap));
+
+  hub.Emit(MakeEvent(1, EventKind::kTrap));
+  hub.Emit(MakeEvent(2, EventKind::kSharedWrite));
+  EXPECT_EQ(ring.size(), 1u);  // ring only wanted the trap
+  ASSERT_EQ(detector.seen.size(), 1u);
+  EXPECT_EQ(detector.seen[0].kind, EventKind::kSharedWrite);
+
+  hub.Detach(&detector);
+  EXPECT_FALSE(hub.Wants(EventKind::kSharedWrite));
+  ring.Disable();
+  EXPECT_EQ(hub.mask(), 0u);
 }
 
 TEST(EventLogTest, EveryKindHasARoundTrippingName) {

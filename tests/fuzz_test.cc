@@ -16,6 +16,7 @@
 #include "exp/runner.h"
 #include "exp/shrink.h"
 #include "sched/fuzz_strategy.h"
+#include "trace/trace.h"
 
 namespace kivati {
 namespace {
@@ -129,6 +130,42 @@ TEST(FuzzTest, ReportIsByteIdenticalAcrossWorkerCounts) {
     EXPECT_EQ(serial.discoveries[i].schedule_index, pooled.discoveries[i].schedule_index);
     EXPECT_EQ(serial.discoveries[i].shrunk_decisions, pooled.discoveries[i].shrunk_decisions);
   }
+}
+
+// Regression for the ViolationPattern hoist: trace/trace.h now holds the
+// single definition, and every consumer — the fuzzer's dedup/coverage key,
+// the repro artifact writer, and replay-side target matching — must derive
+// the identical string for the same violation. A divergence here silently
+// breaks artifact re-matching after a replay.
+TEST(FuzzTest, DedupKeyAndReproArtifactAgreeOnViolationPattern) {
+  ViolationRecord v;
+  v.ar_id = 7;
+  v.addr = 4096;
+  v.size = 8;
+  v.first = AccessType::kRead;
+  v.remote = AccessType::kWrite;
+  v.second = AccessType::kWrite;
+  EXPECT_EQ(ViolationPattern(v), "R-W-W");
+
+  exp::RunSpec spec = BugSpec("NSS-329072");
+  const exp::ReproArtifact artifact = exp::MakeReproArtifact(spec, ScheduleTrace{}, {v});
+  ASSERT_TRUE(artifact.has_target);
+  EXPECT_EQ(artifact.target.pattern, ViolationPattern(v));
+  EXPECT_TRUE(exp::MatchesTarget(artifact.target, v));
+
+  // Round-trip through JSON, exactly what `kivati fuzz --artifacts` saves
+  // and `kivati replay` loads back.
+  const exp::ReproArtifact loaded = exp::ReproFromJson(exp::ToJson(artifact));
+  ASSERT_TRUE(loaded.has_target);
+  EXPECT_EQ(loaded.target.pattern, artifact.target.pattern);
+  EXPECT_TRUE(exp::MatchesTarget(loaded.target, v));
+
+  // A different interleaving shape must not match: the pattern is the part
+  // of the dedup key that distinguishes Figure-2 classes on the same AR.
+  ViolationRecord other = v;
+  other.second = AccessType::kRead;
+  EXPECT_EQ(ViolationPattern(other), "R-W-R");
+  EXPECT_FALSE(exp::MatchesTarget(loaded.target, other));
 }
 
 // Seeded rediscovery: within a small budget the fuzzer must find the corpus

@@ -1,0 +1,51 @@
+#!/usr/bin/env sh
+# Detector-backend comparison smoke (docs/detectors.md).
+#
+# Runs `kivati compare` over the full Table-6 bug corpus at a fixed seed and
+# cycle budget and diffs the per-backend counts — bugs found, false
+# positives, lockset-only findings, and simulated overhead — against the
+# committed baseline. The comparison is a deterministic function of the
+# options, so any drift in either backend (a missed bug, a new false
+# positive, a cost-model change) shows up as a one-line diff in review.
+# The JSON report lands in compare_smoke.json for upload.
+#
+#   sh tools/compare_smoke.sh check    # diff against bench/COMPARE_baseline.txt
+#   sh tools/compare_smoke.sh update   # regenerate the baseline
+#
+# Override the binary with KIVATI=path. Run from the repo root.
+set -eu
+
+KIVATI="${KIVATI:-./build/tools/kivati}"
+BASELINE="bench/COMPARE_baseline.txt"
+REPORT="compare_smoke.json"
+
+# 10M cycles is enough for the HB oracle to convict every corpus bug and for
+# Kivati to catch the five whose racy interleaving occurs at seed 1 — the
+# same configuration tests/detect_test.cc goldens in-process.
+"$KIVATI" compare --max-cycles 10000000 --json "$REPORT"
+
+grep -q '"kind":"kivati_compare"' "$REPORT"
+
+# Everything in the report is deterministic except host wall time.
+strip() { sed -E 's/"wall_ms":[0-9.]+,//' "$1"; }
+
+case "${1:-check}" in
+  update)
+    strip "$REPORT" >"$BASELINE"
+    echo "wrote $BASELINE"
+    ;;
+  check)
+    strip "$REPORT" | diff -u "$BASELINE" - \
+      || { echo "per-backend counts drifted from $BASELINE" \
+           "(run: sh tools/compare_smoke.sh update)" >&2; exit 1; }
+    hb_found=$(head -n 1 "$BASELINE" | sed -E 's/.*"hb_bugs_found":([0-9]+).*/\1/')
+    with_bugs=$(head -n 1 "$BASELINE" | sed -E 's/.*"rows_with_bugs":([0-9]+).*/\1/')
+    [ "$hb_found" = "$with_bugs" ] \
+      || { echo "HB oracle no longer convicts all $with_bugs corpus bugs" >&2; exit 1; }
+    echo "compare smoke ok: hb $hb_found/$with_bugs bugs, baseline unchanged"
+    ;;
+  *)
+    echo "usage: $0 [check|update]" >&2
+    exit 2
+    ;;
+esac

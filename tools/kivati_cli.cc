@@ -31,6 +31,14 @@
 //                                   auto-shrink every discovered violation
 //                                   into a replayable repro artifact, and
 //                                   emit a JSON fuzz report (docs/fuzzing.md)
+//   kivati compare [FILE] [opts]    run workloads once under BOTH detector
+//   kivati compare --bug NAME       backends — Kivati's watchpoints and the
+//   kivati compare --app NAME       happens-before/lockset oracle — and
+//                                   report bugs found, false positives and
+//                                   simulated per-access overhead side by
+//                                   side; default is the whole Table-6 bug
+//                                   corpus (--json for the machine-readable
+//                                   report; docs/detectors.md)
 //   kivati bench-interp [options]   interpreter throughput benchmark:
 //                                   simulated Mcycles/s per app × config,
 //                                   optimized and reference loop side by
@@ -61,6 +69,9 @@
 //                                   must be byte-identical either way
 //                                   (docs/performance.md)
 //   --verbose                       print every violation record
+//   --hb                            (run) attach the happens-before/lockset
+//                                   oracle to the same execution and report
+//                                   its findings too (docs/detectors.md)
 //   --json FILE                     (run) also write the run as a JSON
 //                                   RunRecord; '-' writes to stdout
 //   --trace-out FILE                (run) write the structured event trace;
@@ -150,9 +161,11 @@
 #include <string>
 #include <vector>
 
+#include "common/report_envelope.h"
 #include "compile/compiler.h"
 #include "core/engine.h"
 #include "core/trainer.h"
+#include "exp/compare.h"
 #include "exp/fuzz.h"
 #include "exp/optparse.h"
 #include "exp/repro.h"
@@ -196,6 +209,8 @@ struct CliOptions {
   std::string trace_events;
   std::size_t trace_limit = 65536;
   std::string bug;                    // run --bug NAME (corpus bug workload)
+  bool hb = false;                    // run --hb (attach the HB oracle)
+  std::vector<std::string> compare_bugs;  // compare --bug NAME (repeatable)
   std::string record_schedule_path;   // run/sweep --record-schedule FILE
   std::string out_path;               // shrink --out FILE
   std::size_t max_runs = 300;         // shrink candidate budget
@@ -362,10 +377,52 @@ exp::OptionTable RunTable(CliOptions& options) {
   });
   table.String("--record-schedule", &options.record_schedule_path,
                "record the schedule and save a repro artifact to FILE");
+  table.Flag("--hb", &options.hb,
+             "attach the happens-before/lockset oracle (docs/detectors.md)");
   table.String("--json", &options.json_path, "write the run as JSON ('-' = stdout)");
   table.String("--trace-out", &options.trace_out_path, "write the structured event trace");
   table.String("--trace-events", &options.trace_events, "event kinds to record");
   table.Size("--trace-limit", &options.trace_limit, "event ring-buffer capacity", 1);
+  return table;
+}
+
+exp::OptionTable CompareTable(CliOptions& options) {
+  exp::OptionTable table;
+  table.Value("--bug", "corpus bug to compare (repeatable; default: all)",
+              [&options](const std::string& value) {
+                if (exp::FindCorpusBug(value) == nullptr) {
+                  std::string known;
+                  for (const std::string& name : exp::CorpusBugNames()) {
+                    known += (known.empty() ? "" : ", ") + name;
+                  }
+                  return "--bug: unknown bug '" + value + "' (known: " + known + ")";
+                }
+                options.compare_bugs.push_back(value);
+                return std::string();
+              });
+  table.String("--app", &options.app, "compare over a registered app (nss, vlc, ...)");
+  table.Value("--preset", "base|null|syncvars|optimized", [&options](const std::string& value) {
+    return exp::ParsePreset(value, &options.preset)
+               ? std::string()
+               : "unknown preset '" + value + "'";
+  });
+  table.Value("--max-cycles", "virtual cycle budget", [&options](const std::string& value) {
+    std::uint64_t parsed = 0;
+    if (!exp::ParseU64(value, &parsed) || parsed == 0) {
+      return "--max-cycles: '" + value + "' is not a positive integer";
+    }
+    options.max_cycles = parsed;
+    return std::string();
+  });
+  table.Unsigned("--cores", &options.cores, "simulated cores", 1, 256);
+  table.Unsigned("--watchpoints", &options.watchpoints, "watchpoint registers per core", 1,
+                 kMaxWatchpointCount);
+  table.U64("--seed", &options.seed, "scheduler seed");
+  table.Int("--app-workers", &options.app_workers, "app thread-count scale", 1, 256);
+  table.Int("--app-iterations", &options.app_iterations, "app iteration scale", 1,
+            100'000'000);
+  AddAnnotatorOptions(table, options);
+  table.String("--json", &options.json_path, "write the comparison report ('-' = stdout)");
   return table;
 }
 
@@ -636,8 +693,8 @@ exp::OptionTable BenchInterpTable(CliOptions& options) {
 CliOptions ParseArgs(int argc, char** argv) {
   CliOptions options;
   if (argc < 2) {
-    Fail("usage: kivati annotate|analyze|run|train|sweep|replay|shrink|fuzz|bench-interp "
-         "[FILE] [options] (see the header comment)");
+    Fail("usage: kivati annotate|analyze|run|train|sweep|replay|shrink|fuzz|compare|"
+         "bench-interp [FILE] [options] (see the header comment)");
   }
   options.command = argv[1];
   // Fuzzing explores interleavings; pausing threads inside atomic regions is
@@ -655,7 +712,8 @@ CliOptions ParseArgs(int argc, char** argv) {
     options.file = argv[2];
     first_option = 3;
   } else if (options.command == "sweep" || options.command == "analyze" ||
-             options.command == "run" || options.command == "fuzz") {
+             options.command == "run" || options.command == "fuzz" ||
+             options.command == "compare") {
     // These take an optional source FILE; --apps / --app / --bug is the
     // alternative workload source.
     if (argc >= 3 && argv[2][0] != '-') {
@@ -681,6 +739,8 @@ CliOptions ParseArgs(int argc, char** argv) {
     table = ShrinkTable(options);
   } else if (options.command == "fuzz") {
     table = FuzzTable(options);
+  } else if (options.command == "compare") {
+    table = CompareTable(options);
   } else if (options.command == "bench-interp") {
     table = BenchInterpTable(options);
   } else {
@@ -728,6 +788,7 @@ exp::RunSpec SpecFromOptions(const CliOptions& options) {
   spec.pause_ms = options.pause_ms;
   spec.whitelist_path = options.whitelist_path;
   spec.budget = options.max_cycles.value_or(200'000'000);
+  spec.hb_detector = options.hb;
   return spec;
 }
 
@@ -762,7 +823,7 @@ int Annotate(const CliOptions& options) {
                  compiled.conflict.pruned.contains(info.id) ? "  [pruned]" : "");
   }
   if (options.json_to_stdout) {
-    std::string json = "{\"kind\":\"kivati_annotate\",\"schema_version\":1,";
+    std::string json = report::EnvelopePrefix({"kivati_annotate", 1});
     json += "\"source\":\"" + EscapeJson(options.file) + "\",";
     json += "\"ars_total\":" + std::to_string(compiled.num_ars) + ",\"ars\":[\n";
     for (const ArDebugInfo& info : compiled.ar_infos) {
@@ -890,10 +951,25 @@ int ReportRun(const CliOptions& options, const exp::RunSpec& spec, exp::BuiltRun
       }
     }
   }
+  if (built.hb != nullptr) {
+    const detect::DetectorStats& hb_stats = built.hb->stats();
+    std::fprintf(human,
+                 "hb oracle: %zu race(s), %zu lockset-only, %llu shared access(es), "
+                 "%llu shadow op(s), %llu sync op(s)\n",
+                 built.hb->hb_races(), built.hb->lockset_only(),
+                 static_cast<unsigned long long>(hb_stats.accesses_observed),
+                 static_cast<unsigned long long>(hb_stats.shadow_ops),
+                 static_cast<unsigned long long>(hb_stats.sync_ops));
+    if (options.verbose) {
+      for (const detect::Finding& finding : built.hb->findings()) {
+        std::fprintf(human, "  %s\n", detect::ToString(finding).c_str());
+      }
+    }
+  }
   if (!options.json_path.empty()) {
-    exp::RunRecord record = exp::MakeRecord(spec, *built.app, engine, result);
+    exp::RunRecord record = exp::MakeRecord(spec, *built.app, engine, result, built.hb.get());
     record.wall_ms = wall_ms;
-    WriteJsonOutput(options.json_path, exp::ToJson(record) + "\n");
+    WriteJsonOutput(options.json_path, exp::RunReportJson(record) + "\n");
   }
   return result.deadlocked ? 1 : 0;
 }
@@ -944,6 +1020,33 @@ int Run(const CliOptions& options) {
                     " decision(s) to " + options.record_schedule_path;
   }
   return ReportRun(options, spec, built, result, wall_ms, schedule_note);
+}
+
+int Compare(const CliOptions& options) {
+  exp::CompareOptions compare_options;
+  compare_options.bugs = options.compare_bugs;
+  compare_options.app = options.app;
+  compare_options.source_path = options.file;
+  compare_options.scale.workers = options.app_workers;
+  compare_options.scale.iterations = options.app_iterations;
+  compare_options.scale.annotator = options.annotator;
+  compare_options.scale.prune = !options.no_prune;
+  compare_options.machine.num_cores = options.cores;
+  compare_options.machine.watchpoints_per_core = options.watchpoints;
+  compare_options.machine.seed = options.seed;
+  compare_options.budget = options.max_cycles;
+  compare_options.preset = options.preset;
+  const exp::CompareReport report = exp::RunCompare(compare_options);
+  // Same stdout discipline as run --json -: the table moves to stderr.
+  FILE* human = options.json_path == "-" ? stderr : stdout;
+  std::fputs(exp::FormatCompareTable(report).c_str(), human);
+  if (!options.json_path.empty()) {
+    WriteJsonOutput(options.json_path, exp::CompareReportJson(report));
+    if (options.json_path != "-") {
+      std::printf("report written to %s\n", options.json_path.c_str());
+    }
+  }
+  return 0;
 }
 
 int Replay(const CliOptions& options) {
@@ -1020,7 +1123,7 @@ int Shrink(const CliOptions& options) {
                  "under loose replay; nothing written\n");
   }
   if (!options.json_path.empty()) {
-    std::string json = "{\"kind\":\"kivati_shrink\",\"schema_version\":1,";
+    std::string json = report::EnvelopePrefix({"kivati_shrink", 1});
     json += "\"input\":\"" + EscapeJson(options.file) + "\",";
     json += "\"reproduced\":" + std::string(result.reproduced ? "true" : "false") + ",";
     json += "\"original_decisions\":" + std::to_string(result.original_decisions) + ",";
@@ -1288,6 +1391,9 @@ int Main(int argc, char** argv) {
     }
     if (options.command == "fuzz") {
       return FuzzCommand(options);
+    }
+    if (options.command == "compare") {
+      return Compare(options);
     }
     if (options.command == "bench-interp") {
       return BenchInterp(options);
