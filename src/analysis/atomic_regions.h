@@ -34,6 +34,16 @@ struct FunctionAr {
   std::vector<std::pair<int, AccessType>> ends;
   bool is_sync = false;            // variable carries the `sync` qualifier
   bool needs_replica = false;      // first access is a write (optimization 3)
+
+  // Correlated-variable fusion (analysis/correlation.h). `group` links the
+  // member ARs of one multi-variable region (0 = ordinary single-variable
+  // AR); `joint_types` is the union of access types the *other* member
+  // variables perform inside the region, which the kernel folds into the
+  // serializability decision at end_atomic; `synthesized` marks ARs the
+  // fusion pass created for a member variable that had no AR of its own.
+  int group = 0;
+  WatchType joint_types = WatchType::kNone;
+  bool synthesized = false;
 };
 
 struct FunctionAnnotations {
@@ -45,11 +55,23 @@ struct ArDebugInfo {
   ArId id = kInvalidAr;
   std::string function;
   std::string variable;
+  // Source line of the region's *first* access. Pairs sharing a first access
+  // merge into one AR (Figure 6 union) and fusion may extend the region over
+  // later member accesses, but the cited line never moves off the first
+  // access (analysis_test: MergedRegionCitesFirstAccessLine).
   int line = 0;
   AccessType first_type = AccessType::kRead;
   WatchType watch = WatchType::kNone;  // remote watch condition (Figure 6)
   bool is_sync = false;
   int num_ends = 0;  // end_atomic sites of the region
+
+  // Multi-variable regions: the correlation group id (0 = single-variable),
+  // the names of the other member variables, the joint access-type mask and
+  // whether this AR was synthesized by the fusion pass.
+  int group = 0;
+  std::vector<std::string> correlated;
+  WatchType joint_types = WatchType::kNone;
+  bool synthesized = false;
 };
 
 struct ModuleAnnotations {

@@ -43,6 +43,54 @@ std::string LocalRegion(BugPattern pattern, const std::string& v, int window) {
              "      if (a != b) {\n"
              "        " + v + "_sink = " + v + "_sink + 1;\n"
              "      }\n";
+    // Multi-variable patterns. The local access shapes are chosen so every
+    // AR the single-variable annotator derives is R..W (watch W): the remote
+    // side only READS AR-carrying variables and only WRITES variables with a
+    // single local access (no AR), so nothing below is detectable until the
+    // correlation pass fuses the v/v_aux pair (soundness_test asserts the
+    // differential).
+    case BugPattern::kPairDesync:
+      // MUVI's len/buf family: refill the buffer, then publish the new
+      // length. A remote reader between the two sees new contents with the
+      // stale length.
+      return "      int t = " + v + ";\n" + pad +
+             "      " + v + "_aux = seed & 1023;\n"
+             "      " + v + " = t + 1;\n";
+    case BugPattern::kFlagPair:
+      // Flag/data check-then-act: check ready, then consume data. The
+      // producer runs on the local thread's outer loop (LocalProduce); the
+      // remote thread overwrites data after the check passes. The consumed
+      // value stays local — publishing it to the shared sink would race the
+      // remote's own sink write and muddy the comparison with a second,
+      // unseeded bug.
+      return "      if (" + v + " == 1) {\n" + pad +
+             "        int t = " + v + "_aux;\n"
+             "        " + v + " = t - t;\n"
+             "      }\n";
+    case BugPattern::kPairSwap:
+      // Paired-pointer swap: head and spare must be exchanged atomically; a
+      // remote reader can observe the transient head == spare state.
+      return "      int t = " + v + ";\n" + pad +
+             "      " + v + " = " + v + "_aux;\n"
+             "      " + v + "_aux = t;\n";
+    case BugPattern::kStatPair:
+      // Stat-counter pair: hits and total move together; a remote ratio
+      // reader can see hits bumped but not total.
+      return "      " + v + " = " + v + " + 1;\n" + pad +
+             "      " + v + "_aux = " + v + "_aux + 1;\n";
+  }
+  return {};
+}
+
+// Extra statement appended to the local thread's outer loop, outside the
+// annotated region (windows there are broken by the bug_region call, so the
+// single accesses below never become ARs).
+std::string LocalProduce(BugPattern pattern, const std::string& v) {
+  if (pattern == BugPattern::kFlagPair) {
+    // The producer half of the flag/data pair: stage data, then raise the
+    // flag so the consumer's check can pass.
+    return "        " + v + "_aux = seed & 511;\n"
+           "        " + v + " = 1;\n";
   }
   return {};
 }
@@ -55,6 +103,19 @@ std::string RemoteAccess(BugPattern pattern, const std::string& v) {
       return "      " + v + " = seed & 255;\n";
     case BugPattern::kDirtyRead:
       return "      " + v + "_sink = " + v + ";\n";
+    // Multi-variable remotes co-access BOTH members in one window: that is
+    // what lifts the pair's support to min_support (the local region is the
+    // other co-access site) so the correlation survives pruning.
+    case BugPattern::kPairDesync:
+    case BugPattern::kPairSwap:
+    case BugPattern::kStatPair:
+      // Pure reader of the pair — invisible to every single-variable watch.
+      return "      " + v + "_sink = " + v + " + " + v + "_aux;\n";
+    case BugPattern::kFlagPair:
+      // Competing producer: overwrites data (no AR -> no watch) and polls
+      // the flag (read; the flag AR's single-variable watch is W).
+      return "      " + v + "_aux = seed & 255;\n"
+             "      " + v + "_sink = " + v + ";\n";
   }
   return {};
 }
@@ -62,7 +123,8 @@ std::string RemoteAccess(BugPattern pattern, const std::string& v) {
 std::string BugSource(const BugInfo& bug) {
   const std::string v = bug.variable();
   return std::string("    int ") + v + ";\n" +
-         "    int " + v + "_sink;\n" + R"(
+         "    int " + v + "_sink;\n" +
+         (bug.multivar() ? "    int " + v + "_aux;\n" : std::string()) + R"(
     int noise_a;
     int noise_b;
 
@@ -76,7 +138,7 @@ std::string BugSource(const BugInfo& bug) {
         seed = seed * 6364136223846793005 + 1442695040888963407;
         if ((seed & )" + std::to_string(bug.gate_mask) + R"() == 0) {
           bug_region(id, seed);
-        }
+)" + LocalProduce(bug.pattern, v) + R"(        }
         int acc = seed;
         for (int k = 0; k < 60; k = k + 1) {
           acc = acc * 3 + 1;
@@ -143,6 +205,20 @@ std::string BugInfo::variable() const {
   return prefix + id + "_v";
 }
 
+bool BugInfo::multivar() const {
+  switch (pattern) {
+    case BugPattern::kPairDesync:
+    case BugPattern::kFlagPair:
+    case BugPattern::kPairSwap:
+    case BugPattern::kStatPair:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string BugInfo::aux_variable() const { return variable() + "_aux"; }
+
 const std::vector<BugInfo>& BugCorpus() {
   // Trigger rates calibrated to Table 6's relative ordering: small masks
   // manifest quickly in prevention mode; the largest masks only manifest
@@ -163,10 +239,29 @@ const std::vector<BugInfo>& BugCorpus() {
   return *kCorpus;
 }
 
-App MakeBugApp(const BugInfo& bug, bool prune) {
+const std::vector<BugInfo>& MultiVarBugCorpus() {
+  // MUVI-style multi-variable violations (docs/correlation.md). Triggers are
+  // frequent: the point of this corpus is the detect/miss differential
+  // between the fused and single-variable pipelines, not Table-6 latency.
+  static const auto* kCorpus = new std::vector<BugInfo>{
+      {"Apache", "45605", BugPattern::kPairDesync, /*gate=*/63, /*touch=*/15, 40},
+      {"Mozilla", "73291", BugPattern::kFlagPair, /*gate=*/63, /*touch=*/15, 40},
+      {"MySQL", "38883", BugPattern::kPairSwap, /*gate=*/63, /*touch=*/15, 40},
+      {"NSS", "88331", BugPattern::kStatPair, /*gate=*/63, /*touch=*/15, 40},
+  };
+  return *kCorpus;
+}
+
+App MakeBugApp(const BugInfo& bug, bool prune, bool correlate) {
+  std::vector<std::string> buggy_vars{bug.variable()};
+  if (bug.multivar()) {
+    // Violations can land on the fused host AR or the synthesized partner
+    // AR; both variables count as the bug.
+    buggy_vars.push_back(bug.aux_variable());
+  }
   App app = AssembleApp(bug.app + " " + bug.id, BugSource(bug), "bug_thread",
-                        /*workers=*/3, {bug.variable()},
-                        /*default_max_cycles=*/300'000'000, /*annotator=*/{}, prune);
+                        /*workers=*/3, buggy_vars,
+                        /*default_max_cycles=*/300'000'000, /*annotator=*/{}, prune, correlate);
   return app;
 }
 

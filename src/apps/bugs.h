@@ -11,6 +11,23 @@
 //   kUpdateThenUse  W..R  local update-then-use, remote write
 //   kDirtyRead      W..W  local two-step update, remote read sees the middle
 //   kDoubleRead     R..R  local double read, remote write between
+//
+// The multi-variable corpus (MultiVarBugCorpus) adds four MUVI-style bugs
+// where the atomicity requirement spans TWO correlated variables (a primary
+// `v` and an aux `v_aux`). Each is constructed so the single-variable
+// pipeline provably misses it — the remote side never performs an access
+// any single-variable watch type would trap — while the correlation pass
+// (analysis/correlation.h) fuses the pair into one multi-variable region
+// whose joint mask convicts it:
+//
+//   kPairDesync  len/buf desync: local refills buf then bumps len; a remote
+//                reader sees the new buf with the old len (or vice versa).
+//   kFlagPair    flag/data check-then-act: local checks ready then consumes
+//                data; a remote producer overwrites data after the check.
+//   kPairSwap    paired-pointer swap: local swaps head/spare; a remote
+//                reader sees the transient state where both are equal.
+//   kStatPair    stat-counter pair: hits/total bumped together; a remote
+//                reader computes a ratio from a torn pair.
 #ifndef KIVATI_APPS_BUGS_H_
 #define KIVATI_APPS_BUGS_H_
 
@@ -27,6 +44,11 @@ enum class BugPattern {
   kUpdateThenUse,
   kDirtyRead,
   kDoubleRead,
+  // Multi-variable patterns (correlated v / v_aux pair).
+  kPairDesync,
+  kFlagPair,
+  kPairSwap,
+  kStatPair,
 };
 
 struct BugInfo {
@@ -43,16 +65,26 @@ struct BugInfo {
 
   // The shared variable name in the generated source, e.g. "nss341323_v".
   std::string variable() const;
+  // True for the multi-variable patterns (kPairDesync and later).
+  bool multivar() const;
+  // The correlated partner variable, variable() + "_aux" (multivar only).
+  std::string aux_variable() const;
 };
 
 // The full corpus, in Table 6's row order.
 const std::vector<BugInfo>& BugCorpus();
 
+// The four multi-variable bugs. Kept separate from BugCorpus() so the
+// Table-6 experiments and their baselines are untouched.
+const std::vector<BugInfo>& MultiVarBugCorpus();
+
 // Builds the workload for one bug: a local thread that repeatedly applies
 // the triggering input, a remote thread that makes the interleaving access,
 // and a noise thread exercising unrelated shared state. `prune` lets the
-// soundness suite compare runs with conflict-analysis pruning on and off.
-App MakeBugApp(const BugInfo& bug, bool prune = true);
+// soundness suite compare runs with conflict-analysis pruning on and off;
+// `correlate` gates the correlated-variable fusion pass (--no-correlate),
+// which is what makes the multi-variable corpus detectable at all.
+App MakeBugApp(const BugInfo& bug, bool prune = true, bool correlate = true);
 
 }  // namespace apps
 }  // namespace kivati

@@ -17,11 +17,12 @@ std::unordered_set<ArId> ArsOnVariable(const CompiledProgram& compiled,
 App AssembleApp(const std::string& name, const std::string& source,
                 const std::string& worker_function, int workers,
                 const std::vector<std::string>& buggy_vars, Cycles default_max_cycles,
-                const AnnotateOptions& annotator, bool prune) {
+                const AnnotateOptions& annotator, bool prune, bool correlate) {
   App app;
   CompileOptions compile_options;
   compile_options.annotator = annotator;
   compile_options.conflict.prune = prune;
+  compile_options.correlate = correlate;
   compile_options.conflict.roots.emplace_back(worker_function, workers);
   auto compiled = std::make_shared<CompiledProgram>(CompileSource(source, compile_options));
   app.workload.name = name;

@@ -37,6 +37,9 @@ struct LoadScale {
   // Drop annotations for ARs the conflict analysis proves unviolable
   // (--no-prune sets this false).
   bool prune = true;
+  // Run the correlated-variable fusion pass (--no-correlate sets this
+  // false). No-op on modules where nothing fuses.
+  bool correlate = true;
 };
 
 // All AR ids whose shared variable is named `variable` (any function).
@@ -52,7 +55,8 @@ App AssembleApp(const std::string& name, const std::string& source,
                 const std::string& worker_function, int workers,
                 const std::vector<std::string>& buggy_vars = {},
                 Cycles default_max_cycles = 400'000'000,
-                const AnnotateOptions& annotator = {}, bool prune = true);
+                const AnnotateOptions& annotator = {}, bool prune = true,
+                bool correlate = true);
 
 }  // namespace apps
 }  // namespace kivati

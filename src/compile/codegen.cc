@@ -110,12 +110,28 @@ class FunctionCodegen {
         ends_at_[static_cast<std::size_t>(op)].emplace_back(ar.id, type);
         // A write-type second access also refreshes the AR's shared-page
         // value: a remote access trapped between this write and the
-        // end_atomic must be rolled back to the post-write value.
-        if (emit_replica_ && type == AccessType::kWrite) {
+        // end_atomic must be rolled back to the post-write value. Fused
+        // multi-variable regions may end after *another* member's access;
+        // that op's value belongs to the other variable, so only ops that
+        // touch this AR's own variable (or calls, which reload it) refresh.
+        if (emit_replica_ && type == AccessType::kWrite && EndAccessesOwnVar(ar, op)) {
           replicas_at_[static_cast<std::size_t>(op)].push_back(&ar);
         }
       }
     }
+  }
+
+  // Whether the end op at `op_index` performs an access to `ar`'s own
+  // variable. Single-variable AR ends always do (pairs are same-variable);
+  // a call end stands for a callee access to the variable.
+  bool EndAccessesOwnVar(const FunctionAr& ar, int op_index) const {
+    const MirOp& op = f_.ops[static_cast<std::size_t>(op_index)];
+    if (op.kind == MirOp::Kind::kCall) {
+      return true;
+    }
+    const auto access = SharedAccessOf(op);
+    return access.has_value() && access->base.space == ar.var.space &&
+           access->base.index == ar.var.index;
   }
 
   MemOperand Slot(int local) const {
@@ -179,7 +195,7 @@ class FunctionCodegen {
           assert(false && "AR first op is not a shared access");
           continue;
       }
-      b_.BeginAtomic(ar->id, address, 8, ar->watch, ar->first_type);
+      b_.BeginAtomic(ar->id, address, 8, ar->watch, ar->first_type, ar->joint_types);
     }
   }
 

@@ -27,9 +27,18 @@ CompiledProgram Compile(const TranslationUnit& unit, const CompileOptions& optio
 
   ModuleAnnotations annotations;
   ConflictReport conflict;
+  CorrelationReport correlation;
   if (options.annotate) {
     annotations = Annotate(module, options.annotator);
     conflict = AnalyzeConflicts(module, annotations, options.conflict);
+    if (options.correlate) {
+      correlation = CorrelateAndFuse(module, annotations, conflict, options.correlation);
+      if (correlation.changed) {
+        // Fusion extended host ARs and appended synthesized ones; the
+        // conflict verdicts (and prune set) must reflect the new shapes.
+        conflict = AnalyzeConflicts(module, annotations, options.conflict);
+      }
+    }
   }
 
   CompiledProgram out;
@@ -50,6 +59,7 @@ CompiledProgram Compile(const TranslationUnit& unit, const CompileOptions& optio
   out.ar_infos = std::move(annotations.infos);
   out.num_ars = out.ar_infos.size();
   out.conflict = std::move(conflict);
+  out.correlation = std::move(correlation);
   return out;
 }
 

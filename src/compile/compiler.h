@@ -16,6 +16,7 @@
 
 #include "analysis/atomic_regions.h"
 #include "analysis/conflict.h"
+#include "analysis/correlation.h"
 #include "isa/program.h"
 #include "lang/ast.h"
 #include "mem/address_space.h"
@@ -34,6 +35,12 @@ struct CompileOptions {
   // Whole-module conflict analysis: thread roots and whether ARs it proves
   // unviolable are pruned at codegen (conflict.prune; --no-prune disables).
   ConflictOptions conflict;
+  // Correlated-variable inference + multi-variable region fusion
+  // (analysis/correlation.h; --no-correlate disables). When the pass fuses
+  // anything, the conflict analysis is re-run so synthesized and extended
+  // ARs carry verdicts.
+  bool correlate = true;
+  CorrelationOptions correlation;
 };
 
 struct CompiledProgram {
@@ -53,6 +60,10 @@ struct CompiledProgram {
   // Verdicts from the whole-module conflict analysis (empty when
   // options.annotate was false).
   ConflictReport conflict;
+  // Correlated-set inference result (empty when options.annotate or
+  // options.correlate was false). Self-contained: names are resolved, so
+  // it can be formatted without the MIR module.
+  CorrelationReport correlation;
 
   Addr GlobalAddr(const std::string& name) const { return global_addrs.at(name); }
   // Writes all initializers into `memory` (use as a Workload::init).

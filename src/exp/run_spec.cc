@@ -46,9 +46,22 @@ std::vector<std::string> CorpusBugNames() {
   return names;
 }
 
+std::vector<std::string> MultiVarBugNames() {
+  std::vector<std::string> names;
+  for (const apps::BugInfo& bug : apps::MultiVarBugCorpus()) {
+    names.push_back(bug.app + "-" + bug.id);
+  }
+  return names;
+}
+
 const apps::BugInfo* FindCorpusBug(const std::string& name) {
   const std::string key = CanonicalBugKey(name);
   for (const apps::BugInfo& bug : apps::BugCorpus()) {
+    if (CanonicalBugKey(bug.app + "-" + bug.id) == key) {
+      return &bug;
+    }
+  }
+  for (const apps::BugInfo& bug : apps::MultiVarBugCorpus()) {
     if (CanonicalBugKey(bug.app + "-" + bug.id) == key) {
       return &bug;
     }
@@ -105,9 +118,13 @@ std::shared_ptr<const apps::App> ResolveApp(const RunSpec& spec) {
       for (const std::string& name : CorpusBugNames()) {
         known += (known.empty() ? "" : ", ") + name;
       }
+      for (const std::string& name : MultiVarBugNames()) {
+        known += ", " + name;
+      }
       throw std::runtime_error("unknown bug '" + spec.bug + "' (known: " + known + ")");
     }
-    return std::make_shared<const apps::App>(apps::MakeBugApp(*bug, spec.scale.prune));
+    return std::make_shared<const apps::App>(
+        apps::MakeBugApp(*bug, spec.scale.prune, spec.scale.correlate));
   }
   std::vector<std::pair<std::string, std::uint64_t>> threads = spec.threads;
   if (threads.empty()) {
@@ -116,6 +133,7 @@ std::shared_ptr<const apps::App> ResolveApp(const RunSpec& spec) {
   CompileOptions compile_options;
   compile_options.annotator = spec.scale.annotator;
   compile_options.conflict.prune = spec.scale.prune;
+  compile_options.correlate = spec.scale.correlate;
   // Thread roots for the conflict analysis: each distinct entry function
   // with the number of threads started on it.
   for (const auto& [function, arg] : threads) {

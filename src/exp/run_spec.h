@@ -105,6 +105,9 @@ const std::vector<std::string>& RegisteredApps();
 // order, and the lookup behind RunSpec::bug (case-insensitive; accepts
 // "APP-ID", "APP:ID" or "APP ID"). Lookup returns nullptr when unknown.
 std::vector<std::string> CorpusBugNames();
+// Names of the multi-variable corpus bugs (apps::MultiVarBugCorpus), same
+// "APP-ID" format. FindCorpusBug resolves names from both corpora.
+std::vector<std::string> MultiVarBugNames();
 const apps::BugInfo* FindCorpusBug(const std::string& name);
 
 // Builds one registered application. Throws std::runtime_error for an

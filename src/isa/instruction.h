@@ -111,6 +111,11 @@ struct Instruction {
   WatchType watch = WatchType::kNone;        // remote access type to watch for
   AccessType local_first = AccessType::kRead;   // first local access type
   AccessType local_second = AccessType::kRead;  // second local access type
+  // Multi-variable regions (analysis/correlation.h): the access types the
+  // *other* member variables perform inside this AR's region. kNone for
+  // ordinary single-variable ARs — the kernel's joint-serializability clause
+  // is then a no-op, and the encoding is unchanged (kABegin is fixed-length).
+  WatchType joint = WatchType::kNone;
 };
 
 // Returns the encoded byte length of `instr`. Lengths are x86-plausible and,

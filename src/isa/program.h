@@ -150,13 +150,15 @@ class ProgramBuilder {
   void SyscallOp(Syscall call) {
     Emit({.op = Opcode::kSyscall, .imm = static_cast<std::int64_t>(call)});
   }
-  void BeginAtomic(ArId ar, MemOperand mem, unsigned size, WatchType watch, AccessType first) {
+  void BeginAtomic(ArId ar, MemOperand mem, unsigned size, WatchType watch, AccessType first,
+                   WatchType joint = WatchType::kNone) {
     Emit({.op = Opcode::kABegin,
           .mem = mem,
           .size = size,
           .ar_id = ar,
           .watch = watch,
-          .local_first = first});
+          .local_first = first,
+          .joint = joint});
   }
   void EndAtomic(ArId ar, AccessType second) {
     Emit({.op = Opcode::kAEnd, .ar_id = ar, .local_second = second});

@@ -13,6 +13,23 @@ bool Overlaps(Addr a, unsigned a_size, Addr b, unsigned b_size) {
   return a < b + b_size && b < a + a_size;
 }
 
+// Serializability decision for one AR: the single-variable Figure-2 rule on
+// the local pair, plus — for multi-variable regions — the same rule over the
+// joint access mask (analysis/correlation.h): a remote write conflicts when
+// any member read executed inside the region, a remote read when any member
+// write did. ar.joint is kNone for single-variable ARs, making the extra
+// clause free on the common path.
+bool ArNonSerializable(const ArInstance& ar, AccessType remote, AccessType second) {
+  if (NonSerializable(ar.first, remote, second)) {
+    return true;
+  }
+  if (ar.joint == WatchType::kNone) {
+    return false;
+  }
+  return remote == AccessType::kWrite ? Matches(ar.joint, AccessType::kRead)
+                                      : Matches(ar.joint, AccessType::kWrite);
+}
+
 }  // namespace
 
 KivatiKernel::KivatiKernel(Machine& machine, const KivatiConfig& config)
@@ -315,6 +332,7 @@ PathTaken KivatiKernel::BeginAtomic(ThreadId tid, const Instruction& instr, Addr
   ar.depth = machine_.thread(tid).call_depth;
   ar.first = instr.local_first;
   ar.remote_watch = instr.watch;
+  ar.joint = instr.joint;
   ar.begin_pc = machine_.current_instruction_pc();
   ar.begin_at = machine_.now();
 
@@ -437,7 +455,7 @@ PathTaken KivatiKernel::EndAtomicImpl(ThreadId tid, ArId ar_id, AccessType secon
     if (pending != pending_unprevented_.end()) {
       const ArInstance& info = pending_ar_info_.at(key);
       for (const TriggerRecord& trigger : pending->second) {
-        if (NonSerializable(info.first, trigger.type, second)) {
+        if (ArNonSerializable(info, trigger.type, second)) {
           LogViolation(info, pending_addr_.at(key).first, pending_addr_.at(key).second, trigger,
                        second, machine_.current_instruction_pc());
         }
@@ -1004,7 +1022,7 @@ void KivatiKernel::EvaluateViolations(const WatchpointMeta& wp, const ArInstance
     if (trigger.when < ar.begin_at) {
       continue;  // trigger belongs to an earlier overlapping AR
     }
-    if (NonSerializable(ar.first, trigger.type, second)) {
+    if (ArNonSerializable(ar, trigger.type, second)) {
       LogViolation(ar, wp.addr, wp.size, trigger, second, second_pc);
     }
   }

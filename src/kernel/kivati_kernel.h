@@ -54,6 +54,10 @@ struct ArInstance {
   std::uint32_t depth = 0;               // owner's call depth at begin (for clear_ar)
   AccessType first = AccessType::kRead;  // first local access type
   WatchType remote_watch = WatchType::kNone;
+  // Multi-variable region membership: the access types the other member
+  // variables perform inside the region (analysis/correlation.h). kNone for
+  // single-variable ARs.
+  WatchType joint = WatchType::kNone;
   ProgramCounter begin_pc = 0;
   Cycles begin_at = 0;
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "analysis/atomic_regions.h"
+#include "analysis/conflict.h"
+#include "analysis/correlation.h"
 #include "analysis/lsv.h"
 #include "analysis/mir.h"
 #include "analysis/mir_builder.h"
@@ -425,6 +427,83 @@ TEST(AtomicRegionTest, LoopCarriedAccessesPairAcrossIterations) {
 TEST(MirBuilderTest, BreakOutsideLoopRejected) {
   EXPECT_THROW(Build("void f() { break; }"), LoweringError);
   EXPECT_THROW(Build("void f() { continue; }"), LoweringError);
+}
+
+TEST(AtomicRegionTest, MergedRegionCitesFirstAccessLine) {
+  // Line attribution invariant: an AR's debug info always cites the source
+  // line of its *first* access — both when several second accesses merge
+  // into one region (branchy) and after correlated-variable fusion extends
+  // a host region / synthesizes a partner AR (writer/writer2).
+  const std::string source =
+      "int g;\n"                  // 1
+      "int h;\n"                  // 2
+      "void branchy(int x) {\n"   // 3
+      "  int t = g;\n"            // 4: first access of the merged AR
+      "  if (x == 1) {\n"         // 5
+      "    g = t + 1;\n"          // 6: end 1
+      "  }\n"                     // 7
+      "  g = t + 2;\n"            // 8: end 2
+      "}\n"                       // 9
+      "void writer(int x) {\n"    // 10
+      "  int t = g;\n"            // 11: first access of the host AR
+      "  h = x;\n"                // 12: first access of the synthesized AR
+      "  g = t + x;\n"            // 13
+      "}\n"                       // 14
+      "void writer2(int x) {\n"   // 15
+      "  int t = g;\n"            // 16
+      "  h = x;\n"                // 17
+      "  g = t + x;\n"            // 18
+      "}\n";                      // 19
+  const MirModule m = Build(source);
+  ModuleAnnotations ann = Annotate(m);
+
+  const auto check_first_access_lines = [&] {
+    for (std::size_t f = 0; f < m.functions.size(); ++f) {
+      for (const FunctionAr& ar : ann.functions[f].ars) {
+        const ArDebugInfo* info = ann.InfoFor(ar.id);
+        ASSERT_NE(info, nullptr);
+        EXPECT_EQ(info->line,
+                  m.functions[f].ops[static_cast<std::size_t>(ar.first_op)].line)
+            << info->function << " AR " << ar.id << " on " << info->variable;
+      }
+    }
+  };
+  check_first_access_lines();
+
+  const auto ar_at_line = [&](const std::string& fn, int line) -> const ArDebugInfo* {
+    for (const ArDebugInfo& info : ann.infos) {
+      if (info.function == fn && info.line == line) {
+        return &info;
+      }
+    }
+    return nullptr;
+  };
+  // branchy: both second accesses merged into the AR anchored at line 4.
+  const ArDebugInfo* merged = ar_at_line("branchy", 4);
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->variable, "g");
+  EXPECT_EQ(merged->num_ends, 2);
+
+  // Fuse g/h (co-accessed in writer and writer2, support 2) and re-check:
+  // lines never move off the first access.
+  const ConflictReport conflict = AnalyzeConflicts(m, ann, {});
+  const CorrelationReport report = CorrelateAndFuse(m, ann, conflict);
+  ASSERT_TRUE(report.changed);
+  check_first_access_lines();
+
+  const ArDebugInfo* host = ar_at_line("writer", 11);
+  ASSERT_NE(host, nullptr);
+  EXPECT_EQ(host->variable, "g");
+  EXPECT_EQ(host->group, 1);
+  const ArDebugInfo* synthesized = ar_at_line("writer", 12);
+  ASSERT_NE(synthesized, nullptr);
+  EXPECT_EQ(synthesized->variable, "h");
+  EXPECT_TRUE(synthesized->synthesized);
+  // The merged single-variable AR is untouched by fusion.
+  const ArDebugInfo* still_merged = ar_at_line("branchy", 4);
+  ASSERT_NE(still_merged, nullptr);
+  EXPECT_EQ(still_merged->num_ends, 2);
+  EXPECT_EQ(still_merged->group, 0);
 }
 
 }  // namespace

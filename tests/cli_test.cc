@@ -142,6 +142,20 @@ class CliTest : public ::testing::Test {
 
   void TearDown() override { std::filesystem::remove_all(dir_); }
 
+  // Writes a module whose len/buf pair correlates (co-accessed in two
+  // functions, support 2) and fuses; returns its path.
+  std::string WritePairProgram() {
+    const std::string path = (dir_ / "pair.kv").string();
+    std::ofstream out(path);
+    out << R"(
+      int len;
+      int buf;
+      void writer_a(int x) { int t = len; buf = x; len = t + 1; }
+      void writer_b(int x) { int t = len; buf = x; len = t + 1; }
+    )";
+    return path;
+  }
+
   std::filesystem::path dir_;
   std::string program_;
 };
@@ -171,6 +185,58 @@ TEST_F(CliTest, AnnotateJsonEmitsTable) {
   EXPECT_NE(result.output.find("\"ends\":"), std::string::npos);
   // The human table moved to stderr: stdout is pure JSON.
   EXPECT_EQ(result.output.find("atomic region(s):"), std::string::npos);
+}
+
+TEST_F(CliTest, AnnotateJsonCarriesCorrelationColumns) {
+  // Every AR row carries the correlated-variable columns; on a module where
+  // nothing fuses they hold the neutral values and the envelope stays a
+  // single JSON document.
+  const CommandResult plain = RunCliStdout("annotate " + program_ + " --json");
+  EXPECT_EQ(plain.exit_code, 0) << plain.output;
+  ExpectSingleJsonDocument(plain.output);
+  EXPECT_NE(plain.output.find("\"group\":0"), std::string::npos);
+  EXPECT_NE(plain.output.find("\"correlated\":[]"), std::string::npos);
+  EXPECT_EQ(plain.output.find("\"synthesized\":true"), std::string::npos);
+
+  const std::string pair = WritePairProgram();
+  const CommandResult fused = RunCliStdout("annotate " + pair + " --json");
+  EXPECT_EQ(fused.exit_code, 0) << fused.output;
+  ExpectSingleJsonDocument(fused.output);
+  EXPECT_NE(fused.output.find("\"group\":1"), std::string::npos);
+  EXPECT_NE(fused.output.find("\"synthesized\":true"), std::string::npos);
+  EXPECT_NE(fused.output.find("\"correlated\":[\"len\"]"), std::string::npos);
+
+  // The human table labels set membership.
+  const CommandResult human = RunCli("annotate " + pair);
+  EXPECT_EQ(human.exit_code, 0) << human.output;
+  EXPECT_NE(human.output.find("[set 1"), std::string::npos);
+
+  // --no-correlate leaves every AR single-variable.
+  const CommandResult off = RunCliStdout("annotate " + pair + " --json --no-correlate");
+  EXPECT_EQ(off.exit_code, 0) << off.output;
+  ExpectSingleJsonDocument(off.output);
+  EXPECT_EQ(off.output.find("\"group\":1"), std::string::npos);
+  EXPECT_EQ(off.output.find("\"synthesized\":true"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeJsonCarriesCorrelationSection) {
+  const std::string pair = WritePairProgram();
+  const CommandResult result =
+      RunCliStdout("analyze " + pair + " --threads writer_a:0,writer_b:1 --json");
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  ExpectSingleJsonDocument(result.output);
+  EXPECT_NE(result.output.find("\"correlation\":{"), std::string::npos);
+  EXPECT_NE(result.output.find("\"kept\":1"), std::string::npos);
+  EXPECT_NE(result.output.find("\"members\":[\"len\",\"buf\"]"), std::string::npos);
+
+  const CommandResult human = RunCli("analyze " + pair + " --threads writer_a:0,writer_b:1");
+  EXPECT_EQ(human.exit_code, 0) << human.output;
+  EXPECT_NE(human.output.find("correlated sets: 1 kept"), std::string::npos);
+
+  const CommandResult off =
+      RunCli("analyze " + pair + " --threads writer_a:0,writer_b:1 --no-correlate");
+  EXPECT_EQ(off.exit_code, 0) << off.output;
+  EXPECT_NE(off.output.find("correlated sets: skipped (--no-correlate)"), std::string::npos);
 }
 
 TEST_F(CliTest, AnalyzeReportsVerdicts) {

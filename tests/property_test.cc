@@ -8,8 +8,11 @@
 //   P2  single-threaded executions are semantically transparent: final
 //       global state matches the vanilla run exactly (the undo engine and
 //       annotations must not perturb program semantics);
-//   P3  every reported violation is one of Figure 2's four non-serializable
-//       interleavings, carries valid debug info, and prevented <= detected;
+//   P3  every reported violation is non-serializable — one of Figure 2's
+//       four single-variable interleavings, or the joint rule on a fused
+//       multi-variable region (analysis/correlation.h: a remote write with
+//       a member read in the region, or a remote read with a member write)
+//       — carries valid debug info, and prevented <= detected;
 //   P4  whitelisting every AR yields zero reports and zero annotation
 //       crossings;
 //   P5  runs are deterministic for a fixed seed.
@@ -201,10 +204,17 @@ TEST_P(FuzzTest, PipelineInvariants) {
     const RunOutcome run = RunProgram(compiled, 3, config, 13);
     EXPECT_TRUE(run.completed) << "protected run did not terminate";
     for (const ViolationRecord& v : run.violations) {
-      EXPECT_TRUE(NonSerializable(v.first, v.remote, v.second))
-          << "reported violation is serializable: " << ToString(v);
       ASSERT_GE(v.ar_id, 1u);
       ASSERT_LE(v.ar_id, compiled.num_ars);
+      // Single-variable Figure-2 rule, or the joint rule when the AR is a
+      // fused multi-variable region (mirrors the kernel's ArNonSerializable).
+      const WatchType joint = compiled.ar_infos[v.ar_id - 1].joint_types;
+      const bool joint_non_serializable =
+          joint != WatchType::kNone &&
+          (v.remote == AccessType::kWrite ? Matches(joint, AccessType::kRead)
+                                          : Matches(joint, AccessType::kWrite));
+      EXPECT_TRUE(NonSerializable(v.first, v.remote, v.second) || joint_non_serializable)
+          << "reported violation is serializable: " << ToString(v);
       EXPECT_NE(v.local_thread, v.remote_thread);
       EXPECT_FALSE(compiled.ar_infos[v.ar_id - 1].variable.empty());
     }

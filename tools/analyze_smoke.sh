@@ -2,9 +2,10 @@
 # Verdict-count smoke for the static conflict analysis (docs/analysis.md).
 #
 # Runs `kivati analyze --json` over the analyze examples and every
-# registered app and compares the summary counts (ARs per verdict, pruned)
-# against the committed baseline, so precision regressions show up as a
-# one-line diff in review.
+# registered app and compares the summary counts (ARs per verdict, pruned,
+# plus the correlated-set census of docs/correlation.md: sets kept, pairs
+# rejected, ARs fused/synthesized) against the committed baseline, so
+# precision regressions show up as a one-line diff in review.
 #
 #   sh tools/analyze_smoke.sh check    # diff against bench/ANALYZE_baseline.txt
 #   sh tools/analyze_smoke.sh update   # regenerate the baseline
@@ -16,13 +17,17 @@ KIVATI="${KIVATI:-./build/tools/kivati}"
 BASELINE="bench/ANALYZE_baseline.txt"
 
 # One line per target: the summary fields of the kivati_analyze JSON header
-# (everything before the per-AR array), quotes stripped for readability.
+# (everything before the per-AR array), quotes stripped for readability,
+# followed by the correlated-set counts spliced at the end of the envelope.
 row() {
   name="$1"
   shift
-  summary="$("$KIVATI" analyze "$@" --json 2>/dev/null | head -n 1 \
+  json="$("$KIVATI" analyze "$@" --json 2>/dev/null)"
+  summary="$(printf '%s\n' "$json" | head -n 1 \
     | sed -E 's/,"ars":\[$//; s/^\{//; s/"//g; s/kind:kivati_analyze,//')"
-  printf '%s %s\n' "$name" "$summary"
+  corr="$(printf '%s' "$json" | tr -d '\n' \
+    | sed -E 's/.*"correlation":\{"kept":([0-9]+),"rejected_pairs":([0-9]+),"fused_ars":([0-9]+),"synthesized_ars":([0-9]+).*/corr_kept:\1,corr_rejected:\2,corr_fused:\3,corr_synthesized:\4/')"
+  printf '%s %s %s\n' "$name" "$summary" "$corr"
 }
 
 report() {

@@ -37,8 +37,10 @@
 //                                   report bugs found, false positives and
 //                                   simulated per-access overhead side by
 //                                   side; default is the whole Table-6 bug
-//                                   corpus (--json for the machine-readable
-//                                   report; docs/detectors.md)
+//                                   corpus, --multivar selects the
+//                                   multi-variable corpus instead (--json
+//                                   for the machine-readable report;
+//                                   docs/detectors.md)
 //   kivati bench-interp [options]   interpreter throughput benchmark:
 //                                   simulated Mcycles/s per app × config,
 //                                   optimized and reference loop side by
@@ -64,6 +66,9 @@
 //   --precise-aliasing              annotator: alias/element precision
 //   --no-prune                      keep annotations the conflict analysis
 //                                   proves unviolable (default: drop them)
+//   --no-correlate                  skip correlated-variable inference and
+//                                   multi-variable region fusion
+//                                   (docs/correlation.md)
 //   --no-fast-loop                  use the reference interpreter loop
 //                                   instead of the optimized one; the run
 //                                   must be byte-identical either way
@@ -193,6 +198,8 @@ struct CliOptions {
   bool disasm = false;
   bool verbose = false;
   bool no_prune = false;
+  bool no_correlate = false;    // skip correlated-variable fusion
+  bool compare_multivar = false;  // compare --multivar (multi-variable corpus)
   bool json_to_stdout = false;  // annotate/analyze --json (bare flag)
   std::string app;              // analyze --app NAME
   unsigned cores = 2;
@@ -320,6 +327,8 @@ void AddAnnotatorOptions(exp::OptionTable& table, CliOptions& options) {
              "annotator: alias/element precision");
   table.Flag("--no-prune", &options.no_prune,
              "keep annotations the conflict analysis proves unviolable");
+  table.Flag("--no-correlate", &options.no_correlate,
+             "skip correlated-variable inference and multi-variable fusion");
 }
 
 void AddConfigOptions(exp::OptionTable& table, CliOptions& options) {
@@ -421,6 +430,8 @@ exp::OptionTable CompareTable(CliOptions& options) {
   table.Int("--app-workers", &options.app_workers, "app thread-count scale", 1, 256);
   table.Int("--app-iterations", &options.app_iterations, "app iteration scale", 1,
             100'000'000);
+  table.Flag("--multivar", &options.compare_multivar,
+             "compare over the multi-variable bug corpus (apps::MultiVarBugCorpus)");
   AddAnnotatorOptions(table, options);
   table.String("--json", &options.json_path, "write the comparison report ('-' = stdout)");
   return table;
@@ -778,6 +789,7 @@ exp::RunSpec SpecFromOptions(const CliOptions& options) {
   }
   spec.scale.annotator = options.annotator;
   spec.scale.prune = !options.no_prune;
+  spec.scale.correlate = !options.no_correlate;
   spec.machine.num_cores = options.cores;
   spec.machine.watchpoints_per_core = options.watchpoints;
   spec.machine.seed = options.seed;
@@ -810,17 +822,33 @@ int Annotate(const CliOptions& options) {
   CompileOptions compile_options;
   compile_options.annotator = options.annotator;
   compile_options.conflict.prune = !options.no_prune;
+  compile_options.correlate = !options.no_correlate;
   const CompiledProgram compiled = CompileSource(ReadFile(options.file), compile_options);
   // With --json the machine-readable table owns stdout; the human table
   // joins any diagnostics on stderr (same convention as `run --json -`).
   FILE* human = options.json_to_stdout ? stderr : stdout;
   std::fprintf(human, "%zu atomic region(s):\n", compiled.num_ars);
   for (const ArDebugInfo& info : compiled.ar_infos) {
-    std::fprintf(human, "  AR %-4u %-24s variable '%s'  line %-4d watches %-10s %d end(s)%s%s\n",
+    std::string correlated;
+    if (info.group > 0) {
+      correlated = "  [set " + std::to_string(info.group);
+      if (info.synthesized) {
+        correlated += " synthesized";
+      }
+      correlated += " joint ";
+      correlated += ToString(info.joint_types);
+      correlated += " with";
+      for (const std::string& member : info.correlated) {
+        correlated += " " + member;
+      }
+      correlated += "]";
+    }
+    std::fprintf(human, "  AR %-4u %-24s variable '%s'  line %-4d watches %-10s %d end(s)%s%s%s\n",
                  info.id, (info.function + "()").c_str(), info.variable.c_str(), info.line,
                  ToString(info.watch), info.num_ends,
                  compiled.sync_ars.contains(info.id) ? "  [sync var]" : "",
-                 compiled.conflict.pruned.contains(info.id) ? "  [pruned]" : "");
+                 compiled.conflict.pruned.contains(info.id) ? "  [pruned]" : "",
+                 correlated.c_str());
   }
   if (options.json_to_stdout) {
     std::string json = report::EnvelopePrefix({"kivati_annotate", 1});
@@ -840,7 +868,18 @@ int Annotate(const CliOptions& options) {
       json += compiled.sync_ars.contains(info.id) ? "true" : "false";
       json += ",\"pruned\":";
       json += compiled.conflict.pruned.contains(info.id) ? "true" : "false";
-      json += "}";
+      // Correlated-variable columns (analysis/correlation.h): 0 / empty /
+      // None on every AR the fusion pass left alone.
+      json += ",\"group\":" + std::to_string(info.group);
+      json += ",\"joint\":\"";
+      json += ToString(info.joint_types);
+      json += "\",\"synthesized\":";
+      json += info.synthesized ? "true" : "false";
+      json += ",\"correlated\":[";
+      for (std::size_t i = 0; i < info.correlated.size(); ++i) {
+        json += std::string(i > 0 ? "," : "") + "\"" + EscapeJson(info.correlated[i]) + "\"";
+      }
+      json += "]}";
       json += info.id < compiled.num_ars ? ",\n" : "\n";
     }
     json += "]}\n";
@@ -863,11 +902,13 @@ int Analyze(const CliOptions& options) {
     scale.iterations = options.app_iterations;
     scale.annotator = options.annotator;
     scale.prune = !options.no_prune;
+    scale.correlate = !options.no_correlate;
     compiled = exp::MakeRegisteredApp(options.app, scale)->compiled;
   } else {
     CompileOptions compile_options;
     compile_options.annotator = options.annotator;
     compile_options.conflict.prune = !options.no_prune;
+    compile_options.correlate = !options.no_correlate;
     // --threads entries become the conflict analysis's thread roots: each
     // distinct entry function with its number of occurrences.
     for (const auto& [function, arg] : options.threads) {
@@ -894,10 +935,22 @@ int Analyze(const CliOptions& options) {
     }
     compiled = std::move(program);
   }
-  const std::string human = FormatConflictReport(compiled->conflict, compiled->ar_infos);
+  std::string human = FormatConflictReport(compiled->conflict, compiled->ar_infos);
+  // The correlated-sets section (analysis/correlation.h). With
+  // --no-correlate the pass never ran; say so rather than print an empty
+  // report that reads as "nothing correlates".
+  if (options.no_correlate) {
+    human += "\ncorrelated sets: skipped (--no-correlate)\n";
+  } else {
+    human += "\n" + FormatCorrelationReport(compiled->correlation);
+  }
   if (options.json_to_stdout) {
     std::fputs(human.c_str(), stderr);
-    std::fputs(ConflictReportJson(compiled->conflict, compiled->ar_infos).c_str(), stdout);
+    std::string json = ConflictReportJson(compiled->conflict, compiled->ar_infos);
+    // Splice the correlation object into the envelope (it ends "]}\n").
+    const std::size_t closing = json.rfind('}');
+    json.insert(closing, ",\"correlation\":" + CorrelationReportJson(compiled->correlation));
+    std::fputs(json.c_str(), stdout);
   } else {
     std::fputs(human.c_str(), stdout);
   }
@@ -1025,12 +1078,20 @@ int Run(const CliOptions& options) {
 int Compare(const CliOptions& options) {
   exp::CompareOptions compare_options;
   compare_options.bugs = options.compare_bugs;
+  if (options.compare_multivar) {
+    // --multivar selects the multi-variable corpus (appends to any explicit
+    // --bug selections).
+    for (const std::string& name : exp::MultiVarBugNames()) {
+      compare_options.bugs.push_back(name);
+    }
+  }
   compare_options.app = options.app;
   compare_options.source_path = options.file;
   compare_options.scale.workers = options.app_workers;
   compare_options.scale.iterations = options.app_iterations;
   compare_options.scale.annotator = options.annotator;
   compare_options.scale.prune = !options.no_prune;
+  compare_options.scale.correlate = !options.no_correlate;
   compare_options.machine.num_cores = options.cores;
   compare_options.machine.watchpoints_per_core = options.watchpoints;
   compare_options.machine.seed = options.seed;
@@ -1217,6 +1278,7 @@ int BenchInterp(const CliOptions& options) {
   spec.scale.iterations = options.app_iterations;
   spec.scale.annotator = options.annotator;
   spec.scale.prune = !options.no_prune;
+  spec.scale.correlate = !options.no_correlate;
   spec.include_fast = !options.reference_only;
   spec.include_reference = !options.fast_only;
 
@@ -1281,6 +1343,7 @@ int Sweep(const CliOptions& options) {
   grid.base.scale.iterations = options.app_iterations;
   grid.base.scale.annotator = options.annotator;
   grid.base.scale.prune = !options.no_prune;
+  grid.base.scale.correlate = !options.no_correlate;
   grid.base.machine.fast_loop = !options.no_fast_loop;
   grid.base.pause_ms = options.pause_ms;
   grid.base.whitelist_path = options.whitelist_path;
