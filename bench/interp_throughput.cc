@@ -1,12 +1,13 @@
 // Interpreter throughput microbenchmark: simulated cycles per wall-clock
-// second for the hot loop, per app × configuration, with the optimized and
-// reference interpreter side by side (docs/performance.md).
+// second for the hot loop, per app × configuration, with the block, fast
+// and reference engines side by side (docs/performance.md).
 //
 // The committed baseline lives in BENCH_interp.json (regenerate with
 // `kivati bench-interp --json BENCH_interp.json` from a Release build); the
 // CI perf-smoke job fails on a >30% regression against it.
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 
 #include "bench/bench_common.h"
@@ -17,29 +18,35 @@ namespace bench {
 namespace {
 
 void Run() {
-  std::printf("=== Interpreter throughput (best of 3, simulated Mcycles/s) ===\n\n");
+  std::printf("=== Interpreter throughput (median of 3, simulated Mcycles/s) ===\n\n");
   exp::InterpBenchSpec spec;
   spec.apps = {"nss", "vlc"};
   spec.configs = {"vanilla", "base", "optimized"};
 
-  TablePrinter table({"Run", "Loop", "Cycles", "Wall (ms)", "Mcycles/s", "MIPS"});
+  TablePrinter table({"Run", "Engine", "Cycles", "Wall (ms)", "Mcycles/s", "MIPS"});
   const auto entries = exp::RunInterpBench(spec);
   for (const exp::InterpBenchEntry& e : entries) {
-    table.AddRow({e.label, e.fast_loop ? "fast" : "reference", std::to_string(e.cycles),
-                  Num(e.best_wall_ms, 1), Num(e.mcycles_per_sec, 2), Num(e.mips, 2)});
+    table.AddRow({e.label, e.engine, std::to_string(e.cycles), Num(e.median_wall_ms, 1),
+                  Num(e.mcycles_per_sec, 2), Num(e.mips, 2)});
   }
   table.Print();
 
-  // Fast-vs-reference speedup per cell.
-  std::printf("\nSpeedup (fast / reference):\n");
-  for (std::size_t i = 0; i + 1 < entries.size(); i += 2) {
-    const exp::InterpBenchEntry& fast = entries[i];
-    const exp::InterpBenchEntry& ref = entries[i + 1];
-    if (!fast.fast_loop || ref.fast_loop || ref.mcycles_per_sec <= 0.0) {
+  // Per-cell speedups over the reference loop.
+  std::map<std::string, std::map<std::string, double>> by_label;
+  for (const exp::InterpBenchEntry& e : entries) {
+    by_label[e.label][e.engine] = e.mcycles_per_sec;
+  }
+  std::printf("\nSpeedup over reference (fast, block):\n");
+  for (const auto& [label, engines] : by_label) {
+    const auto ref = engines.find("reference");
+    if (ref == engines.end() || ref->second <= 0.0) {
       continue;
     }
-    std::printf("  %-40s %.2fx\n", fast.label.c_str(),
-                fast.mcycles_per_sec / ref.mcycles_per_sec);
+    const auto fast = engines.find("fast");
+    const auto block = engines.find("block");
+    std::printf("  %-40s fast %.2fx   block %.2fx\n", label.c_str(),
+                fast == engines.end() ? 0.0 : fast->second / ref->second,
+                block == engines.end() ? 0.0 : block->second / ref->second);
   }
 }
 

@@ -16,6 +16,7 @@
 #ifndef KIVATI_KERNEL_KIVATI_KERNEL_H_
 #define KIVATI_KERNEL_KIVATI_KERNEL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -133,6 +134,29 @@ class KivatiKernel {
   void HandleThreadExit(ThreadId tid);
   void SyncCore(CoreId core);
   void HandleContextSwitch(CoreId core, ThreadId prev, ThreadId next);
+  // True when SyncCore(core) would provably change nothing: the core's
+  // applied register image is already the canonical one, and no sync waiter
+  // is satisfiable right now. A waiter blocked on some *other* core's lagging
+  // generation stays unsatisfiable until that core enters the kernel itself,
+  // which cannot happen behind the caller's back within one fused run.
+  bool SyncCoreIsNoOp(CoreId core) const {
+    if (core_generation_[core] < canonical_.generation()) {
+      return false;
+    }
+    if (sync_waiters_.empty()) {
+      return true;
+    }
+    std::uint64_t min_gen = ~std::uint64_t{0};
+    for (const std::uint64_t gen : core_generation_) {
+      min_gen = std::min(min_gen, gen);
+    }
+    for (const SyncWaiter& waiter : sync_waiters_) {
+      if (waiter.generation <= min_gen) {
+        return false;  // CheckSyncWaiters would wake it
+      }
+    }
+    return true;
+  }
 
   // --- Introspection (tests, stats) ----------------------------------------
   const std::vector<WatchpointMeta>& watchpoints() const { return wps_; }

@@ -15,6 +15,7 @@
 #define KIVATI_MEM_ADDRESS_SPACE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/types.h"
@@ -42,8 +43,35 @@ class AddressSpace {
     if (index < chunks_.size() && offset + size <= kChunkSize) {
       const auto& chunk = chunks_[index];
       if (!chunk.empty()) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+        // Width-specialized memcpy: each case compiles to a single load
+        // (the interpreter passes `size` at run time, so the portable
+        // byte-assembly loop below would really loop).
+        const std::uint8_t* p = chunk.data() + offset;
+        switch (size) {
+          case 8: {
+            std::uint64_t v;
+            std::memcpy(&v, p, 8);
+            return v;
+          }
+          case 4: {
+            std::uint32_t v;
+            std::memcpy(&v, p, 4);
+            return v;
+          }
+          case 2: {
+            std::uint16_t v;
+            std::memcpy(&v, p, 2);
+            return v;
+          }
+          case 1:
+            return *p;
+          default:
+            break;
+        }
+#endif
         std::uint64_t value = 0;
-        // Little-endian byte assembly; compiles to a single load.
+        // Little-endian byte assembly, independent of host byte order.
         for (unsigned i = 0; i < size; ++i) {
           value |= static_cast<std::uint64_t>(chunk[offset + i]) << (8 * i);
         }
@@ -60,6 +88,29 @@ class AddressSpace {
     if (index < chunks_.size() && offset + size <= kChunkSize) {
       auto& chunk = chunks_[index];
       if (!chunk.empty()) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+        std::uint8_t* p = chunk.data() + offset;
+        switch (size) {
+          case 8:
+            std::memcpy(p, &value, 8);
+            return;
+          case 4: {
+            const std::uint32_t v = static_cast<std::uint32_t>(value);
+            std::memcpy(p, &v, 4);
+            return;
+          }
+          case 2: {
+            const std::uint16_t v = static_cast<std::uint16_t>(value);
+            std::memcpy(p, &v, 2);
+            return;
+          }
+          case 1:
+            *p = static_cast<std::uint8_t>(value);
+            return;
+          default:
+            break;
+        }
+#endif
         for (unsigned i = 0; i < size; ++i) {
           chunk[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
         }

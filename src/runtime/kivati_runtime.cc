@@ -135,6 +135,13 @@ void KivatiRuntime::OnKernelEntry(CoreId core) {
   kernel_.SyncCore(core);
 }
 
+bool KivatiRuntime::IdleSyncIsNoOp(CoreId core) const {
+  if (reread_interval_ != 0) {
+    return false;  // a periodic whitelist re-read may come due at any entry
+  }
+  return config_.null_syscall || kernel_.SyncCoreIsNoOp(core);
+}
+
 void KivatiRuntime::OnContextSwitch(CoreId core, ThreadId prev, ThreadId next) {
   if (config_.null_syscall) {
     return;

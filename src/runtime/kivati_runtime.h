@@ -33,6 +33,7 @@ class KivatiRuntime : public KivatiHooks {
   bool OnWatchpointTrap(ThreadId thread, CoreId core, unsigned slot, const MemAccess& access,
                         ProgramCounter trap_pc) override;
   void OnKernelEntry(CoreId core) override;
+  bool IdleSyncIsNoOp(CoreId core) const override;
   void OnContextSwitch(CoreId core, ThreadId prev, ThreadId next) override;
   void OnSuspensionTimeout(ThreadId thread) override;
   void OnThreadExit(ThreadId thread) override;

@@ -61,6 +61,16 @@ class KivatiHooks {
   // from the canonical image.
   virtual void OnKernelEntry(CoreId core) = 0;
 
+  // True when an *idle-loop* OnKernelEntry on `core` would provably change
+  // nothing right now: the core already runs the canonical register image,
+  // no thread is blocked waiting on a cross-core sync, and no periodic
+  // kernel work is due. The translated execution engine uses this to fuse
+  // an idle core's clock-chasing steps without eliding a real sync point;
+  // the state it depends on can only change from inside the kernel, which
+  // the engine never enters within one fused run. The conservative answer
+  // is false, which merely disables the fusion.
+  virtual bool IdleSyncIsNoOp(CoreId /*core*/) const { return false; }
+
   // Core `core` switches from `prev` to `next` (either may be kInvalidThread).
   // Kivati swaps per-thread watchpoint suppression here (optimization 3).
   virtual void OnContextSwitch(CoreId core, ThreadId prev, ThreadId next) = 0;

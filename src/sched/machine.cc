@@ -297,9 +297,60 @@ void Machine::Reschedule(CoreId core, bool timer_interrupt) {
   }
 }
 
+Machine::IdleOutcome Machine::IdleCoreStep(CoreId core) {
+  Core& c = cores_[core];
+  // An idle core sits in the kernel idle loop, so it is trivially
+  // "in the kernel": give the hooks their opportunistic sync point
+  // (without this, threads blocked on cross-core watchpoint sync could
+  // wait on a core that never re-enters the kernel). The sync may make
+  // a thread runnable; pick it up immediately.
+  if (hooks_ != nullptr) {
+    executing_core_ = core;
+    hooks_->OnKernelEntry(core);
+    Reschedule(core, /*timer_interrupt=*/false);
+    if (c.current != kInvalidThread) {
+      if (config_.fast_loop) {
+        FixMinCoreAfterAdvance(core);
+      }
+      return IdleOutcome::kProgress;
+    }
+  }
+  // Idle: jump to the next time anything can happen on this core —
+  // a timer wake, or another core's progress releasing a thread.
+  Cycles next_time = EarliestDeadline();
+  bool any_other_busy = false;
+  for (CoreId i = 0; i < cores_.size(); ++i) {
+    if (i != core && cores_[i].current != kInvalidThread) {
+      any_other_busy = true;
+      next_time = std::min(next_time, std::max(cores_[i].clock, c.clock + 1));
+    }
+  }
+  if (next_time == ~Cycles{0}) {
+    if (!any_other_busy && ready_.empty()) {
+      return IdleOutcome::kDeadlock;
+    }
+    next_time = c.clock + 1;
+  }
+  c.clock = std::max(c.clock + 1, next_time);
+  if (config_.fast_loop) {
+    FixMinCoreAfterAdvance(core);
+  }
+  return IdleOutcome::kProgress;
+}
+
+
 RunResult Machine::Run(Cycles max_cycles) {
   RunResult result;
   const bool fast = config_.fast_loop;
+  // Block-translated execution needs the fast loop's caches and hands
+  // per-instruction control back whenever something needs instruction-exact
+  // decisions: a replaying or guided ScheduleController (record mode stays
+  // on — the decision stream is identical either way), address tracing, or
+  // an access-level trace sink (that one is re-checked per RunTranslated
+  // entry, since sinks may subscribe mid-run).
+  const bool block_ok = fast && config_.block_translate &&
+                        config_.trace_addr == kInvalidAddr &&
+                        (sched_ctl_ == nullptr || !sched_ctl_->replaying());
   while (true) {
     const bool all_done = fast ? live_count_ == 0 : live_threads() == 0;
     if (all_done) {
@@ -340,43 +391,15 @@ RunResult Machine::Run(Cycles max_cycles) {
       Reschedule(core, timer);
     }
     if (c.current == kInvalidThread) {
-      // An idle core sits in the kernel idle loop, so it is trivially
-      // "in the kernel": give the hooks their opportunistic sync point
-      // (without this, threads blocked on cross-core watchpoint sync could
-      // wait on a core that never re-enters the kernel). The sync may make
-      // a thread runnable; pick it up immediately.
-      if (hooks_ != nullptr) {
-        executing_core_ = core;
-        hooks_->OnKernelEntry(core);
-        Reschedule(core, /*timer_interrupt=*/false);
-        if (c.current != kInvalidThread) {
-          if (fast) {
-            FixMinCoreAfterAdvance(core);
-          }
-          continue;
-        }
+      if (IdleCoreStep(core) == IdleOutcome::kDeadlock) {
+        result.deadlocked = true;
+        break;
       }
-      // Idle: jump to the next time anything can happen on this core —
-      // a timer wake, or another core's progress releasing a thread.
-      Cycles next_time = EarliestDeadline();
-      bool any_other_busy = false;
-      for (CoreId i = 0; i < cores_.size(); ++i) {
-        if (i != core && cores_[i].current != kInvalidThread) {
-          any_other_busy = true;
-          next_time = std::min(next_time, std::max(cores_[i].clock, c.clock + 1));
-        }
-      }
-      if (next_time == ~Cycles{0}) {
-        if (!any_other_busy && ready_.empty()) {
-          result.deadlocked = true;
-          break;
-        }
-        next_time = c.clock + 1;
-      }
-      c.clock = std::max(c.clock + 1, next_time);
-      if (fast) {
-        FixMinCoreAfterAdvance(core);
-      }
+      continue;
+    }
+    if (block_ok && RunTranslated(max_cycles, core) != 0) {
+      // The fused loop advanced the machine and stopped at a consistent
+      // iteration boundary; re-derive everything at the top of the loop.
       continue;
     }
     ExecuteOne(core);

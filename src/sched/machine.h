@@ -26,6 +26,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "exec/block_translate.h"
 #include "hw/debug_registers.h"
 #include "isa/program.h"
 #include "isa/rollback_table.h"
@@ -63,6 +64,15 @@ struct MachineConfig {
   // byte-identical runs — the determinism guardrail of docs/performance.md
   // (`kivati run --no-fast-loop`, fast_loop_test).
   bool fast_loop = true;
+  // Execute through the basic-block translation engine (exec/
+  // block_translate.h): predecoded fused superinstructions with the
+  // per-instruction watchpoint filter and scheduler poll hoisted to block
+  // boundaries. Only active together with fast_loop; the engine
+  // deoptimizes to per-instruction execution whenever a replaying/guided
+  // ScheduleController, an access-level trace sink, or address tracing
+  // needs instruction-exact decisions, and must be byte-identical either
+  // way (`kivati run --no-block-translate`, block_translate_test).
+  bool block_translate = true;
 };
 
 // The immutable per-program state a Machine executes: the program plus its
@@ -73,8 +83,13 @@ struct MachineConfig {
 struct ProgramImage {
   Program program;
   RollbackTable rollback;
+  // Basic-block translation (exec/block_translate.h), derived once here so
+  // every machine sharing the image — sweep grids, fuzz and shrink workers
+  // — shares the translation instead of re-deriving it per run.
+  exec::BlockTranslation blocks;
 
-  explicit ProgramImage(Program p) : program(std::move(p)), rollback(program) {}
+  explicit ProgramImage(Program p)
+      : program(std::move(p)), rollback(program), blocks(program) {}
 };
 
 std::shared_ptr<const ProgramImage> MakeProgramImage(Program program);
@@ -163,6 +178,15 @@ class Machine {
   // hooks charge kernel crossings, trap handling and fast-path work).
   void ChargeExtra(Cycles cycles) { pending_extra_ += cycles; }
 
+  // Block-cache invalidation hook: drops every memoized block check-free
+  // verdict. The kernel fires it whenever it arms or disarms a watchpoint
+  // slot or installs a multi-variable joint mask (kivati_kernel.cc), so a
+  // stale "this block cannot touch an armed range" proof can never outlive
+  // the registers it was proven against. Per-core register generations
+  // already key the memo exactly; the epoch is the explicit cross-layer
+  // contract (docs/performance.md).
+  void InvalidateBlockChecks() { ++block_epoch_; }
+
   // Number of threads not yet done (for workload harnesses).
   std::size_t live_threads() const;
 
@@ -241,8 +265,32 @@ class Machine {
   // Assigns a thread to `core`, firing context-switch hooks.
   void Reschedule(CoreId core, bool timer_interrupt);
 
+  // One scheduling step of a core with no current thread (after Reschedule
+  // found nothing): gives the hooks their kernel-idle sync opportunity,
+  // picks up any thread that wakes, otherwise jumps the core's clock to the
+  // next time anything can happen. Shared between Run and the block
+  // engine's fused loop — any state it leaves is a consistent loop
+  // boundary.
+  enum class IdleOutcome : std::uint8_t { kProgress, kDeadlock };
+  IdleOutcome IdleCoreStep(CoreId core);
+
   // Executes one instruction of core's current thread; advances the clock.
   void ExecuteOne(CoreId core);
+
+  // The block-translation engine's fused loop (exec/block_exec.cc): runs
+  // predecoded ops across all cores in the exact discrete-event
+  // interleaving of Run, hoisting the per-instruction dispatch and
+  // watchpoint filtering, and returns to Run at the first op it cannot
+  // fuse (barriers, traps that may fire, scheduling decisions).
+  // `entry_core` is the core Run picked *this iteration*: Run commits to
+  // executing one instruction of that core's thread before re-deriving
+  // anything — even when the Reschedule it just ran charged context-switch
+  // cost that pushed the core's clock past another's — so the fused loop
+  // must execute that one op first (or return 0 for ExecuteOne to do it)
+  // before handing control to its own min-clock pick. Returns the number of
+  // instructions executed; 0 means no progress was possible and the caller
+  // must take the generic path.
+  std::uint64_t RunTranslated(Cycles max_cycles, CoreId entry_core);
 
   // Applies the semantics of `instr` for thread `t`. Returns the accesses
   // performed (in program order) for watchpoint checking. `filter` (fast
@@ -306,6 +354,21 @@ class Machine {
   CoreId min_core_ = 0;              // cached min-clock core...
   CoreId second_core_ = 0;           // ...and its runner-up
   bool min_core_valid_ = false;
+
+  // --- Block-translation state (exec/block_exec.cc) ------------------------
+  // Per-core memoized check-free verdict for the block the core is
+  // executing, keyed on (block, register generation, invalidation epoch).
+  struct BlockVerdict {
+    std::uint32_t block = exec::BlockTranslation::kNoOp;
+    std::uint64_t generation = ~std::uint64_t{0};
+    std::uint64_t epoch = ~std::uint64_t{0};
+    bool check_free = false;
+  };
+  std::vector<BlockVerdict> block_verdicts_;
+  // Per-core cursor into the translated op array, valid only within one
+  // RunTranslated call (kNoOp = re-derive from the thread's PC).
+  std::vector<std::uint32_t> block_cursors_;
+  std::uint64_t block_epoch_ = 0;  // bumped by InvalidateBlockChecks
 };
 
 }  // namespace kivati

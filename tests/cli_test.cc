@@ -504,6 +504,8 @@ TEST_F(CliTest, JsonModesEmitExactlyOneEnvelopeDocument) {
        "--max-cycles 2000000 --json -"},
       {"kivati_compare",
        "compare --bug NSS-329072 --max-cycles 3000000 --json -"},
+      {"kivati_interp_bench",
+       "bench-interp --apps nss --configs base --repeats 1 --max-cycles 400000 --json -"},
   };
   for (const auto& mode : modes) {
     SCOPED_TRACE(mode.kind + ": " + mode.args);

@@ -99,6 +99,34 @@ TEST(FuzzGuidedRunTest, GuidedTraceReplaysStrictly) {
             exp::ToJson(replayed, /*include_wall_clock=*/false));
 }
 
+// The block engine must be schedule-transparent under guided fuzzing: a
+// guided controller counts as replaying, so the engine deopts to the
+// per-instruction loop, and the guided run's record and recorded
+// ScheduleTrace are byte-identical whether block translation is configured
+// on (the default) or off.
+TEST(FuzzGuidedRunTest, GuidedTraceIsEngineInvariant) {
+  auto run_guided = [](bool block_translate) {
+    exp::RunSpec spec = BugSpec("NSS-329072");
+    spec.machine.block_translate = block_translate;
+    auto guided = std::make_shared<GuidedSchedule>();
+    guided->kind = FuzzStrategyKind::kPct;
+    guided->seed = 99;
+    spec.guided_schedule = guided;
+    return exp::Execute(spec);
+  };
+
+  const exp::RunRecord block = run_guided(true);
+  const exp::RunRecord fast = run_guided(false);
+  ASSERT_TRUE(block.error.empty()) << block.error;
+  ASSERT_TRUE(fast.error.empty()) << fast.error;
+  EXPECT_EQ(exp::ToJson(block, /*include_wall_clock=*/false),
+            exp::ToJson(fast, /*include_wall_clock=*/false));
+  ASSERT_NE(block.schedule, nullptr);
+  ASSERT_NE(fast.schedule, nullptr);
+  EXPECT_EQ(block.schedule->decisions, fast.schedule->decisions);
+  EXPECT_EQ(block.schedule->checkpoints, fast.schedule->checkpoints);
+}
+
 TEST(FuzzTest, RejectsInvalidOptions) {
   const exp::RunSpec spec = BugSpec("NSS-329072");
   exp::FuzzOptions options = SmallBudget();

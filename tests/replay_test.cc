@@ -6,9 +6,12 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/repro.h"
+#include "trace/event_log.h"
+#include "trace/sink.h"
 #include "exp/run_record.h"
 #include "exp/run_spec.h"
 #include "exp/runner.h"
@@ -85,6 +88,75 @@ TEST_P(CorpusReplayTest, ReplayIsByteIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(AllCorpusBugs, CorpusReplayTest,
                          ::testing::Range<std::size_t>(0, apps::BugCorpus().size()));
+
+// Block-translated execution must not change schedule semantics. Recording
+// through the block engine (block_translate defaults on; record mode keeps
+// fusion active because the decision stream is pick-identical) must produce
+// a ScheduleTrace byte-identical to the fast loop's, and strict replay with
+// block translation configured must still reproduce the run exactly — the
+// replaying controller forces per-instruction deopt, which this pins down.
+TEST(BlockEngineScheduleTest, RecordedTraceMatchesFastLoopAndReplaysStrictly) {
+  const exp::RunSpec base = BugSpec("NSS-329072", 5'000'000);
+
+  Recorded block = RecordRun(base);  // block_translate on (the default)
+
+  exp::RunSpec fast_spec = base;
+  fast_spec.machine.block_translate = false;
+  Recorded fast = RecordRun(fast_spec);
+
+  EXPECT_EQ(block.trace->decisions, fast.trace->decisions);
+  EXPECT_EQ(block.trace->checkpoints, fast.trace->checkpoints);
+
+  exp::RunSpec replay_spec = base;  // block_translate stays on for the replay
+  replay_spec.replay_schedule = block.trace;
+  exp::BuiltRun replay = exp::BuildEngine(replay_spec);
+  const RunResult replay_result = replay.engine->Run(replay_spec.budget);
+  ASSERT_NO_THROW(replay.engine->schedule_controller()->VerifyFullyConsumed());
+
+  const exp::RunRecord recorded =
+      exp::MakeRecord(base, *block.run.app, *block.run.engine, block.result);
+  const exp::RunRecord replayed =
+      exp::MakeRecord(base, *replay.app, *replay.engine, replay_result);
+  EXPECT_EQ(exp::ToJson(recorded, /*include_wall_clock=*/false),
+            exp::ToJson(replayed, /*include_wall_clock=*/false));
+}
+
+// An access-level TraceSink subscribing *mid-run* must deopt the block
+// engine at its next entry: every committed shared read/write after the
+// subscription point is observed, and the run's outcome is unchanged
+// relative to the fast loop doing the same dance.
+TEST(BlockEngineScheduleTest, MidRunAccessSinkSubscriptionDeopts) {
+  struct AccessSink : TraceSink {
+    std::vector<std::string> events;
+    std::uint32_t wants_mask() const override { return kAccessEventKinds; }
+    void OnEvent(const TraceEvent& e) override {
+      events.push_back(std::to_string(e.when) + "/" + ToString(e.kind) + "/t" +
+                       std::to_string(e.thread) + "/a" + std::to_string(e.addr) +
+                       "/v" + std::to_string(e.value));
+    }
+  };
+
+  const exp::RunSpec base = BugSpec("NSS-329072", 5'000'000);
+  auto run_with = [&base](bool block_translate) {
+    exp::RunSpec spec = base;
+    spec.machine.block_translate = block_translate;
+    exp::BuiltRun built = exp::BuildEngine(spec);
+    AccessSink sink;
+    built.engine->Run(*spec.budget / 2);
+    built.engine->trace().hub().Attach(&sink);
+    const RunResult result = built.engine->Run(spec.budget);
+    const exp::RunRecord record =
+        exp::MakeRecord(base, *built.app, *built.engine, result);
+    return std::make_pair(exp::ToJson(record, /*include_wall_clock=*/false),
+                          std::move(sink.events));
+  };
+
+  const auto block = run_with(true);
+  const auto fast = run_with(false);
+  EXPECT_FALSE(block.second.empty()) << "no shared accesses observed post-attach";
+  EXPECT_EQ(block.first, fast.first);
+  EXPECT_EQ(block.second, fast.second);
+}
 
 TEST(ReplayDivergenceTest, TamperedPickIsDetected) {
   const exp::RunSpec base = BugSpec("NSS-329072", 5'000'000);

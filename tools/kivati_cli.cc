@@ -43,8 +43,8 @@
 //                                   docs/detectors.md)
 //   kivati bench-interp [options]   interpreter throughput benchmark:
 //                                   simulated Mcycles/s per app × config,
-//                                   optimized and reference loop side by
-//                                   side (docs/performance.md; feeds
+//                                   block, fast and reference engines side
+//                                   by side (docs/performance.md; feeds
 //                                   BENCH_interp.json and CI's perf-smoke)
 //
 // Options for run/train:
@@ -73,6 +73,12 @@
 //                                   instead of the optimized one; the run
 //                                   must be byte-identical either way
 //                                   (docs/performance.md)
+//   --no-block-translate            keep the optimized loop but disable
+//                                   basic-block translation (fused
+//                                   superinstructions with hoisted
+//                                   watchpoint checks); escape hatch for
+//                                   the default engine, byte-identical
+//                                   either way (docs/performance.md)
 //   --verbose                       print every violation record
 //   --hb                            (run) attach the happens-before/lockset
 //                                   oracle to the same execution and report
@@ -148,9 +154,11 @@
 //   --apps a,b,...                  registered apps (default: nss,vlc)
 //   --configs c1,c2,...             vanilla and/or presets (default:
 //                                   vanilla,base,optimized)
-//   --repeats N                     wall-time repeats per cell, best wins
-//                                   (default 3)
-//   --fast-only / --reference-only  measure just one loop flavor
+//   --repeats N                     timed repeats per cell after one
+//                                   untimed warmup, median wins (default 3)
+//   --block-only / --fast-only / --reference-only
+//                                   measure just one engine (default: all
+//                                   three — block, fast, reference)
 //   --seed/--cores/--watchpoints/--max-cycles/--app-workers/
 //   --app-iterations                as for run/sweep
 //   --json FILE                     machine-readable report ('-' = stdout)
@@ -246,10 +254,13 @@ struct CliOptions {
 
   // run/train/sweep/bench-interp: select the reference interpreter loop.
   bool no_fast_loop = false;
+  // run/train/sweep/bench-interp: optimized loop without block translation.
+  bool no_block_translate = false;
 
   // bench-interp.
   std::vector<std::string> bench_configs;
   unsigned repeats = 3;
+  bool block_only = false;
   bool fast_only = false;
   bool reference_only = false;
 };
@@ -355,6 +366,9 @@ void AddConfigOptions(exp::OptionTable& table, CliOptions& options) {
   table.Double("--pause-ms", &options.pause_ms, "bug-finding pause length", 0.0, 1e9);
   table.Flag("--no-fast-loop", &options.no_fast_loop,
              "use the reference interpreter loop (must be byte-identical)");
+  table.Flag("--no-block-translate", &options.no_block_translate,
+             "disable basic-block translation in the optimized loop "
+             "(must be byte-identical)");
   AddAnnotatorOptions(table, options);
 }
 
@@ -695,6 +709,7 @@ exp::OptionTable BenchInterpTable(CliOptions& options) {
   });
   table.Int("--app-workers", &options.app_workers, "app thread-count scale", 1, 256);
   table.Int("--app-iterations", &options.app_iterations, "app iteration scale", 1, 100'000'000);
+  table.Flag("--block-only", &options.block_only, "measure only the block engine");
   table.Flag("--fast-only", &options.fast_only, "measure only the optimized loop");
   table.Flag("--reference-only", &options.reference_only, "measure only the reference loop");
   table.String("--json", &options.json_path, "machine-readable report ('-' = stdout)");
@@ -794,6 +809,7 @@ exp::RunSpec SpecFromOptions(const CliOptions& options) {
   spec.machine.watchpoints_per_core = options.watchpoints;
   spec.machine.seed = options.seed;
   spec.machine.fast_loop = !options.no_fast_loop;
+  spec.machine.block_translate = !options.no_block_translate;
   spec.vanilla = options.vanilla;
   spec.preset = options.preset;
   spec.mode = options.mode;
@@ -1261,8 +1277,10 @@ int FuzzCommand(const CliOptions& options) {
 }
 
 int BenchInterp(const CliOptions& options) {
-  if (options.fast_only && options.reference_only) {
-    Fail("bench-interp takes at most one of --fast-only / --reference-only");
+  if (static_cast<int>(options.block_only) + static_cast<int>(options.fast_only) +
+          static_cast<int>(options.reference_only) >
+      1) {
+    Fail("bench-interp takes at most one of --block-only / --fast-only / --reference-only");
   }
   exp::InterpBenchSpec spec;
   spec.apps = options.apps.empty() ? std::vector<std::string>{"nss", "vlc"} : options.apps;
@@ -1279,16 +1297,17 @@ int BenchInterp(const CliOptions& options) {
   spec.scale.annotator = options.annotator;
   spec.scale.prune = !options.no_prune;
   spec.scale.correlate = !options.no_correlate;
-  spec.include_fast = !options.reference_only;
-  spec.include_reference = !options.fast_only;
+  spec.include_block = !options.fast_only && !options.reference_only;
+  spec.include_fast = !options.block_only && !options.reference_only;
+  spec.include_reference = !options.block_only && !options.fast_only;
 
   // Progress (and the human table) on stderr when stdout carries the JSON.
   FILE* human = options.json_path == "-" ? stderr : stdout;
   const auto entries = exp::RunInterpBench(spec, [human](const exp::InterpBenchEntry& e) {
     std::fprintf(human, "%-44s %-9s %12llu cycles %9.1f ms %9.2f Mcyc/s %9.2f MIPS\n",
-                 e.label.c_str(), e.fast_loop ? "fast" : "reference",
-                 static_cast<unsigned long long>(e.cycles), e.best_wall_ms, e.mcycles_per_sec,
-                 e.mips);
+                 e.label.c_str(), e.engine.c_str(),
+                 static_cast<unsigned long long>(e.cycles), e.median_wall_ms,
+                 e.mcycles_per_sec, e.mips);
   });
   if (!options.json_path.empty()) {
     WriteJsonOutput(options.json_path, exp::InterpBenchJson(entries));
@@ -1345,6 +1364,7 @@ int Sweep(const CliOptions& options) {
   grid.base.scale.prune = !options.no_prune;
   grid.base.scale.correlate = !options.no_correlate;
   grid.base.machine.fast_loop = !options.no_fast_loop;
+  grid.base.machine.block_translate = !options.no_block_translate;
   grid.base.pause_ms = options.pause_ms;
   grid.base.whitelist_path = options.whitelist_path;
   grid.base.budget = options.max_cycles;
